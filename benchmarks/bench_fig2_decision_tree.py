@@ -1,0 +1,48 @@
+"""Fig. 2 — the decision tree explored while merging the Fig. 1 schedules.
+
+Regenerates the per-path optimal schedule lengths listed next to Fig. 2 and
+the decision tree the merging algorithm walks (which path is followed at every
+node, where the back-steps happen).  The benchmark times the per-path list
+scheduling of all six alternative paths, which is the input of the tree walk.
+"""
+
+from __future__ import annotations
+
+from repro.data import PAPER_PATH_DELAYS
+from repro.graph import PathEnumerator
+from repro.scheduling import PathListScheduler
+
+from conftest import write_result
+
+
+def test_fig2_decision_tree(benchmark, fig1_example, fig1_result):
+    example = fig1_example
+    enumerator = PathEnumerator(example.graph)
+    paths = enumerator.paths()
+    scheduler = PathListScheduler(
+        example.graph, example.expanded_mapping, example.architecture
+    )
+
+    def schedule_all_paths():
+        return {path.label: scheduler.schedule(path) for path in paths}
+
+    schedules = benchmark(schedule_all_paths)
+
+    lines = ["Fig. 2 (reproduction): per-path schedule lengths and decision tree", ""]
+    lines.append(f"{'path':<14} {'this reproduction':>18} {'paper':>8}")
+    for label, schedule in sorted(schedules.items(), key=lambda kv: -kv[1].delay):
+        paper = PAPER_PATH_DELAYS.get(str(label), float("nan"))
+        lines.append(f"{str(label):<14} {schedule.delay:>18g} {paper:>8g}")
+    lines.append("")
+    lines.append("decision tree explored during merging "
+                 f"({fig1_result.trace.back_steps} back-steps, "
+                 f"{len(fig1_result.trace.leaves())} leaves):")
+    lines.append(fig1_result.trace.render())
+    write_result("fig2_decision_tree", "\n".join(lines))
+
+    assert len(schedules) == 6
+    assert len(fig1_result.trace.leaves()) == 6
+    # The number of decision nodes of the binary tree over {C, D, K} where K is
+    # only decided when D holds: 1 (C) + 2 (D) + 2 (K) internal nodes.
+    internal = [n for n in fig1_result.trace.nodes() if not n.is_leaf]
+    assert len(internal) == 5

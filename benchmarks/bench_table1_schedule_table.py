@@ -1,0 +1,61 @@
+"""Table 1 — the schedule table of the Fig. 1 example.
+
+Regenerates the global schedule table for the paper's worked example and
+reports the rows shown in Table 1 (P1, P2, P10, P11, P14, P17, selected
+communication processes and the three condition broadcasts) together with the
+worst-case delay the table guarantees.  The benchmark times the complete
+pipeline: path enumeration, per-path list scheduling and schedule merging.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_condition_rows, format_schedule_table, schedule_table_summary
+from repro.data import PAPER_WORST_CASE_DELAY
+from repro.scheduling import ScheduleMerger
+from repro.simulation import validate_merge_result
+
+from conftest import write_result
+
+TABLE1_ROWS = ["P1", "P2", "P10", "P11", "P14", "P17"]
+
+
+def test_table1_schedule_table(benchmark, fig1_example):
+    example = fig1_example
+
+    def generate():
+        merger = ScheduleMerger(
+            example.graph, example.expanded_mapping, example.architecture
+        )
+        return merger.merge()
+
+    result = benchmark(generate)
+    validate_merge_result(
+        example.graph, example.expanded_mapping, result, example.architecture
+    )
+
+    summary = schedule_table_summary(result.table)
+    comm_rows = [
+        name
+        for name in result.table.process_names
+        if example.graph[name].is_communication
+    ][:3]
+    lines = [
+        "Table 1 (reproduction): schedule table of the Fig. 1 example",
+        f"rows: {summary['rows']:.0f}, columns: {summary['columns']:.0f}, "
+        f"activation times: {summary['entries']:.0f}",
+        "",
+        format_schedule_table(result.table, process_order=TABLE1_ROWS + comm_rows),
+        "",
+        "condition broadcasts:",
+        format_condition_rows(result.table),
+        "",
+        f"delta_M   = {result.delta_m:g}",
+        f"delta_max = {result.delta_max:g}",
+        f"paper's delta_max = {PAPER_WORST_CASE_DELAY:g} "
+        "(absolute values differ because the intra-processor edges of Fig. 1 "
+        "are not published; see EXPERIMENTS.md)",
+    ]
+    write_result("table1_schedule_table", "\n".join(lines))
+
+    assert result.delta_max >= result.delta_m - 1e-9
+    assert 25 <= result.delta_max <= 60

@@ -1,0 +1,80 @@
+"""Table 2 — worst-case delays of the ATM OAM block on alternative architectures.
+
+Regenerates the paper's case study: the three OAM operating modes are scheduled
+on ten architecture variants (one or two 486DX2-80/Pentium-120 processors, one
+or two memory modules) and the resulting worst-case delays are tabulated next
+to the paper's published numbers.  Absolute nanoseconds differ (the VHDL
+process graphs are synthetic reconstructions — see DESIGN.md), but the
+architecture-selection conclusions must match.  The benchmark times the
+evaluation of one mode on one architecture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.atm import (
+    PAPER_TABLE2,
+    OAMArchitectureConfig,
+    build_all_modes,
+    evaluate_mode,
+    evaluate_table2,
+    table2_architecture_configs,
+    table2_delays,
+)
+
+from conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def measured_table2():
+    return table2_delays(evaluate_table2())
+
+
+def test_table2_atm_oam(benchmark, measured_table2):
+    delays = measured_table2
+    configs = table2_architecture_configs()
+
+    headers = ["architecture"]
+    for mode in (1, 2, 3):
+        headers += [f"mode{mode} (ours)", f"mode{mode} (paper)"]
+    rows = []
+    for config in configs:
+        row = [config.label]
+        for mode in (1, 2, 3):
+            row.append(round(delays[mode][config.label], 1))
+            row.append(PAPER_TABLE2[mode][config.label])
+        rows.append(row)
+
+    conclusions = [
+        "",
+        "qualitative checks (the conclusions of Section 6):",
+        f"  faster CPU helps every mode: mode1 {delays[1]['1P/1M 486']:.0f} -> "
+        f"{delays[1]['1P/1M Pentium']:.0f}, mode2 {delays[2]['1P/1M 486']:.0f} -> "
+        f"{delays[2]['1P/1M Pentium']:.0f}, mode3 {delays[3]['1P/1M 486']:.0f} -> "
+        f"{delays[3]['1P/1M Pentium']:.0f}",
+        f"  second CPU: helps mode1 ({delays[1]['1P/1M 486']:.0f} -> "
+        f"{delays[1]['2P/1M 2x486']:.0f}), never helps mode2, helps mode3 only on 486 "
+        f"({delays[3]['1P/1M 486']:.0f} -> {delays[3]['2P/1M 2x486']:.0f}; Pentium "
+        f"{delays[3]['1P/1M Pentium']:.0f} unchanged)",
+        f"  second memory module: irrelevant for modes 2/3 and for single-CPU mode1; "
+        f"pays off for mode1 on two Pentiums ({delays[1]['2P/1M 2xPentium']:.0f} -> "
+        f"{delays[1]['2P/2M 2xPentium']:.0f})",
+    ]
+    text = format_table(
+        "Table 2 (reproduction): worst-case delay of the OAM block (ns)", headers, rows
+    )
+    write_result("table2_atm_oam", text + "\n" + "\n".join(conclusions))
+
+    # Key qualitative relations asserted (details are covered in tests/test_atm.py).
+    assert delays[2]["2P/1M 2x486"] == pytest.approx(delays[2]["1P/1M 486"])
+    assert delays[1]["2P/1M 2x486"] < delays[1]["1P/1M 486"]
+    assert delays[3]["2P/1M 2x486"] < delays[3]["1P/1M 486"]
+    assert delays[3]["2P/1M 2xPentium"] == pytest.approx(delays[3]["1P/1M Pentium"])
+    assert delays[1]["2P/2M 2xPentium"] < delays[1]["2P/1M 2xPentium"]
+
+    # Benchmark one evaluation (mode 2 on the single-Pentium architecture).
+    mode2 = build_all_modes()[1]
+    config = OAMArchitectureConfig(("Pentium",), 1)
+    benchmark(lambda: evaluate_mode(mode2, config))

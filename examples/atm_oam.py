@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The ATM switch OAM block case study (the paper's Table 2).
+
+Evaluates the worst-case delay of the three OAM operating modes on the ten
+architecture variants of the paper (one or two 486/Pentium processors, one or
+two memory modules) and prints the resulting table next to the paper's
+published values, together with the architecture-selection conclusions the
+paper draws from it.
+
+Run it with::
+
+    python examples/atm_oam.py            # full table (ten architectures)
+    REPRO_EXAMPLE_FAST=1 python examples/atm_oam.py   # reduced variant for CI
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.atm import (
+    PAPER_TABLE2,
+    build_all_modes,
+    evaluate_table2,
+    table2_architecture_configs,
+    table2_delays,
+)
+from repro.analysis import format_table
+from repro.graph import PathEnumerator
+
+
+def main() -> None:
+    fast = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+    modes = build_all_modes()
+
+    print("OAM block operating modes")
+    for mode in modes:
+        paths = PathEnumerator(mode.graph).count()
+        print(f"  mode {mode.index}: {len(mode.graph.ordinary_processes)} processes, "
+              f"{paths} alternative paths "
+              f"({len(mode.memory_processes)} memory accesses)")
+
+    configs = table2_architecture_configs()
+    if fast:
+        configs = [c for c in configs if len(c.processors) == 1 or c.memories == 1]
+        modes = modes[:2]
+        print("\n(fast mode: evaluating a subset of architectures/modes)")
+
+    evaluations = evaluate_table2(modes, configs)
+    delays = table2_delays(evaluations)
+
+    headers = ["architecture"] + [f"mode {m}" for m in sorted(delays)] + [
+        f"paper mode {m}" for m in sorted(delays)
+    ]
+    rows = []
+    for config in configs:
+        row = [config.label]
+        row += [round(delays[m][config.label], 1) for m in sorted(delays)]
+        row += [PAPER_TABLE2[m][config.label] for m in sorted(delays)]
+        rows.append(row)
+    print()
+    print(format_table("Worst-case delays of the OAM block (ns)", headers, rows))
+
+    print()
+    print("Mapping strategies selected for each best schedule:")
+    for mode_index, row in sorted(evaluations.items()):
+        for label, evaluation in row.items():
+            print(f"  mode {mode_index} on {label:<22} cpu={evaluation.cpu_strategy:<6} "
+                  f"memory={evaluation.memory_strategy}")
+
+    if not fast:
+        print()
+        print("Conclusions (matching Section 6 of the paper):")
+        d = delays
+        print(f"  * a faster processor always helps, e.g. mode 1: "
+              f"{d[1]['1P/1M 486']:.0f} -> {d[1]['1P/1M Pentium']:.0f} ns")
+        print(f"  * a second processor never helps mode 2 "
+              f"({d[2]['1P/1M 486']:.0f} ns on one or two 486s)")
+        print(f"  * a second processor helps mode 1 "
+              f"({d[1]['1P/1M 486']:.0f} -> {d[1]['2P/1M 2x486']:.0f} ns with two 486s)")
+        print(f"  * in mode 3 a second 486 helps ({d[3]['1P/1M 486']:.0f} -> "
+              f"{d[3]['2P/1M 2x486']:.0f} ns) but a second Pentium does not "
+              f"({d[3]['1P/1M Pentium']:.0f} ns either way)")
+        print(f"  * a second memory module only pays off for mode 1 on two Pentiums "
+              f"({d[1]['2P/1M 2xPentium']:.0f} -> {d[1]['2P/2M 2xPentium']:.0f} ns)")
+
+
+if __name__ == "__main__":
+    main()

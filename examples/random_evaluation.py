@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Randomised evaluation of the schedule-merging heuristic (the shape of Fig. 5/6).
+
+Generates random conditional process graphs with the parameters of the paper's
+evaluation (graph sizes, numbers of alternative paths, uniform and exponential
+execution times, architectures of one ASIC plus several processors and buses),
+merges their per-path schedules, and reports
+
+* the average percentage increase of the worst-case delay ``delta_max`` over
+  the ideal per-path delay ``delta_M`` (Fig. 5), and
+* the average wall-clock time of the schedule-merging step (Fig. 6).
+
+Run it with::
+
+    python examples/random_evaluation.py                 # small default sweep
+    REPRO_EXAMPLE_FAST=1 python examples/random_evaluation.py   # tiny CI sweep
+    REPRO_GRAPHS_PER_SETTING=8 python examples/random_evaluation.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis import aggregate, format_series
+from repro.generator import RandomSystemGenerator, paper_experiment_configs
+from repro.scheduling import ScheduleMerger
+
+
+def run_sweep(sizes, paths_options, graphs_per_setting):
+    increase_series = {}
+    time_series = {}
+    for nodes in sizes:
+        configs = paper_experiment_configs(
+            nodes, graphs_per_setting, paths_options=paths_options, base_seed=nodes
+        )
+        by_paths = {}
+        times_by_paths = {}
+        for config in configs:
+            system = RandomSystemGenerator(config).generate()
+            merger = ScheduleMerger(
+                system.graph, system.expanded_mapping, system.architecture
+            )
+            started = time.perf_counter()
+            result = merger.merge()
+            elapsed = time.perf_counter() - started
+            by_paths.setdefault(config.alternative_paths, []).append(result)
+            times_by_paths.setdefault(config.alternative_paths, []).append(elapsed)
+        label = f"{nodes} nodes"
+        increase_series[label] = {
+            paths: aggregate(results).average_increase_percent
+            for paths, results in sorted(by_paths.items())
+        }
+        time_series[label] = {
+            paths: sum(samples) / len(samples)
+            for paths, samples in sorted(times_by_paths.items())
+        }
+        zero_fractions = {
+            paths: aggregate(results).zero_increase_fraction
+            for paths, results in sorted(by_paths.items())
+        }
+        print(f"finished {label}: zero-increase fraction per path count "
+              f"{ {p: round(f, 2) for p, f in zero_fractions.items()} }")
+    return increase_series, time_series
+
+
+def main() -> None:
+    fast = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+    graphs_per_setting = int(os.environ.get("REPRO_GRAPHS_PER_SETTING", "0") or 0)
+    if fast:
+        sizes = [20]
+        paths_options = [4, 6]
+        graphs_per_setting = graphs_per_setting or 1
+    else:
+        sizes = [60, 80, 120]
+        paths_options = [10, 12, 18, 24, 32]
+        graphs_per_setting = graphs_per_setting or 2
+
+    print(f"sweep: sizes={sizes}, paths={paths_options}, "
+          f"{graphs_per_setting} graph(s) per setting\n")
+    increase_series, time_series = run_sweep(sizes, paths_options, graphs_per_setting)
+
+    print()
+    print(format_series(
+        "Increase of delta_max over delta_M (%) — the shape of Fig. 5",
+        "paths",
+        increase_series,
+    ))
+    print()
+    print(format_series(
+        "Average execution time of schedule merging (s) — the shape of Fig. 6",
+        "paths",
+        time_series,
+        value_format="{:.3f}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

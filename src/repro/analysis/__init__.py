@@ -1,0 +1,35 @@
+"""Analysis and reporting: delay metrics, Gantt charts and table rendering."""
+
+from .gantt import busy_fraction, render_gantt, render_schedule_listing
+from .metrics import (
+    AggregateStatistics,
+    DelayIncrease,
+    aggregate,
+    delay_increase,
+    group_by,
+    speedup,
+)
+from .reporting import format_comparison, format_series, format_table
+from .table_format import (
+    format_condition_rows,
+    format_schedule_table,
+    schedule_table_summary,
+)
+
+__all__ = [
+    "AggregateStatistics",
+    "DelayIncrease",
+    "aggregate",
+    "busy_fraction",
+    "delay_increase",
+    "format_comparison",
+    "format_condition_rows",
+    "format_schedule_table",
+    "format_series",
+    "format_table",
+    "group_by",
+    "render_gantt",
+    "render_schedule_listing",
+    "schedule_table_summary",
+    "speedup",
+]

@@ -1,0 +1,90 @@
+"""ASCII Gantt charts of per-path schedules (the shape of Fig. 4).
+
+The paper illustrates its adjustment step with Gantt charts of the optimal
+and adjusted schedules of two alternative paths.  :func:`render_gantt` draws
+the same kind of chart in plain text, one row per processing element, so that
+schedules can be inspected in a terminal or embedded in reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..architecture.architecture import Architecture
+from ..scheduling.schedule import PathSchedule, ScheduledTask
+
+
+def render_gantt(
+    schedule: PathSchedule,
+    architecture: Architecture,
+    width: int = 78,
+    title: Optional[str] = None,
+) -> str:
+    """Render a path schedule as an ASCII Gantt chart.
+
+    Each processing element gets one lane; every activity is drawn as a block
+    of ``#`` characters preceded by its name.  Time is scaled so that the
+    whole schedule fits into ``width`` characters.
+    """
+    horizon = max(schedule.delay, 1e-9)
+    scale = (width - 1) / horizon
+
+    def column(time: float) -> int:
+        return min(width - 1, int(round(time * scale)))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        (len(pe.name) for pe in architecture.processing_elements), default=4
+    )
+    lines.append(
+        f"{'':<{label_width}}  0{'':<{max(0, width - 8)}}{horizon:g}"
+    )
+    for pe in architecture.processing_elements:
+        tasks = schedule.tasks_on(pe)
+        lane = _render_lane(tasks, column, width)
+        lines.append(f"{pe.name:<{label_width}} |{lane}|")
+    return "\n".join(lines)
+
+
+def _render_lane(tasks: Sequence[ScheduledTask], column, width: int) -> str:
+    lane = [" "] * width
+    for task in tasks:
+        start = column(task.start)
+        end = max(start + 1, column(task.end))
+        label = task.name if not task.is_broadcast else str(task.condition)
+        for position in range(start, min(end, width)):
+            lane[position] = "#"
+        for offset, char in enumerate(label):
+            position = start + offset
+            if position < min(end, width):
+                lane[position] = char
+    return "".join(lane)
+
+
+def render_schedule_listing(schedule: PathSchedule) -> str:
+    """A textual listing of one path schedule, ordered by start time."""
+    lines = [f"schedule of path {schedule.path.label} (delay {schedule.delay:g})"]
+    for task in schedule.all_items_in_order():
+        where = task.pe.name if task.pe is not None else "-"
+        kind = "broadcast" if task.is_broadcast else "process"
+        lines.append(
+            f"  {task.start:>8.2f}  {task.name:<16} {kind:<9} on {where:<6} "
+            f"for {task.duration:g}"
+        )
+    return "\n".join(lines)
+
+
+def busy_fraction(
+    schedule: PathSchedule, architecture: Architecture
+) -> Dict[str, float]:
+    """Utilisation of every sequential processing element over the schedule length."""
+    horizon = max(schedule.delay, 1e-9)
+    result: Dict[str, float] = {}
+    for pe in architecture.processing_elements:
+        if not pe.executes_sequentially:
+            continue
+        busy = sum(task.duration for task in schedule.tasks_on(pe))
+        result[pe.name] = busy / horizon
+    return result

@@ -1,0 +1,89 @@
+"""Metrics used by the paper's experimental evaluation (Section 6).
+
+The central quantity of Fig. 5 is the percentage increase of the worst-case
+delay ``delta_max`` of the generated schedule table over ``delta_M``, the
+largest of the per-path optimal delays.  This module aggregates that metric
+(and a few companions) over collections of merge results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..scheduling.merging import MergeResult
+
+
+@dataclass(frozen=True)
+class DelayIncrease:
+    """The Fig. 5 metric for a single graph."""
+
+    delta_m: float
+    delta_max: float
+
+    @property
+    def absolute(self) -> float:
+        return self.delta_max - self.delta_m
+
+    @property
+    def percent(self) -> float:
+        if self.delta_m <= 0:
+            return 0.0
+        return 100.0 * (self.delta_max - self.delta_m) / self.delta_m
+
+    @property
+    def is_zero(self) -> bool:
+        return abs(self.delta_max - self.delta_m) < 1e-9
+
+
+def delay_increase(result: MergeResult) -> DelayIncrease:
+    """The delay increase of one merge result."""
+    return DelayIncrease(result.delta_m, result.delta_max)
+
+
+@dataclass
+class AggregateStatistics:
+    """Aggregate of the Fig. 5 metrics over a set of graphs."""
+
+    count: int = 0
+    average_increase_percent: float = 0.0
+    max_increase_percent: float = 0.0
+    zero_increase_fraction: float = 0.0
+    average_delta_m: float = 0.0
+    average_delta_max: float = 0.0
+    increases: List[float] = field(default_factory=list)
+
+
+def aggregate(results: Iterable[MergeResult]) -> AggregateStatistics:
+    """Aggregate delay-increase statistics over several merge results."""
+    increases = [delay_increase(result) for result in results]
+    stats = AggregateStatistics(count=len(increases))
+    if not increases:
+        return stats
+    percents = [inc.percent for inc in increases]
+    stats.increases = percents
+    stats.average_increase_percent = sum(percents) / len(percents)
+    stats.max_increase_percent = max(percents)
+    stats.zero_increase_fraction = sum(1 for inc in increases if inc.is_zero) / len(
+        increases
+    )
+    stats.average_delta_m = sum(inc.delta_m for inc in increases) / len(increases)
+    stats.average_delta_max = sum(inc.delta_max for inc in increases) / len(increases)
+    return stats
+
+
+def group_by(
+    items: Sequence[Tuple[object, MergeResult]]
+) -> Dict[object, AggregateStatistics]:
+    """Group (key, result) pairs by key and aggregate each group."""
+    buckets: Dict[object, List[MergeResult]] = {}
+    for key, result in items:
+        buckets.setdefault(key, []).append(result)
+    return {key: aggregate(results) for key, results in buckets.items()}
+
+
+def speedup(baseline_delay: float, delay: float) -> float:
+    """Ratio of a baseline delay to a measured delay (>1 means improvement)."""
+    if delay <= 0:
+        return float("inf")
+    return baseline_delay / delay

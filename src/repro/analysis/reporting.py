@@ -1,0 +1,80 @@
+"""Experiment reports: the rows/series printed by the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper; the
+helpers here turn raw measurements into the compact, aligned text blocks those
+benchmarks print (and that EXPERIMENTS.md quotes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Mapping[float, float]],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Format a figure-style result: one column per series, one row per x value.
+
+    ``series`` maps a series name (e.g. ``"120 nodes"``) to an ``x -> y``
+    mapping (e.g. number of merged schedules -> average increase).
+    """
+    xs = sorted({x for values in series.values() for x in values})
+    names = list(series)
+    header = [x_label] + names
+    widths = [max(len(h), 10) for h in header]
+    lines = [title]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for x in xs:
+        cells = [f"{x:g}".rjust(widths[0])]
+        for name, width in zip(names, widths[1:]):
+            value = series[name].get(x)
+            cell = value_format.format(value) if value is not None else "-"
+            cells.append(cell.rjust(width))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Format a paper-style table with a header row and aligned columns."""
+    widths = [len(str(h)) for h in headers]
+    text_rows: List[List[str]] = []
+    for row in rows:
+        cells = [
+            f"{cell:g}" if isinstance(cell, (int, float)) else str(cell)
+            for cell in row
+        ]
+        text_rows.append(cells)
+        for index, cell in enumerate(cells):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    title: str, paper: Mapping[str, float], measured: Mapping[str, float]
+) -> str:
+    """Side-by-side paper-reported vs. measured values (used in EXPERIMENTS.md)."""
+    keys = list(paper) + [k for k in measured if k not in paper]
+    rows = []
+    for key in keys:
+        rows.append(
+            [key, paper.get(key, float("nan")), measured.get(key, float("nan"))]
+        )
+    return format_table(title, ["case", "paper", "measured"], rows)
+
+
+def as_dict(rows: Sequence[Sequence[object]], key_index: int = 0) -> Dict[str, List[object]]:
+    """Index table rows by one column (convenience for tests)."""
+    return {str(row[key_index]): list(row) for row in rows}

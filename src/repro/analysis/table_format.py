@@ -1,0 +1,78 @@
+"""Pretty printing of schedule tables (the shape of Table 1 of the paper).
+
+The schedule table is rendered with one row per process (plus one per
+condition broadcast) and one column per condition-value conjunction, exactly
+like Table 1: empty cells mean the process is never activated under that
+column; a number is the activation time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..conditions import Conjunction
+from ..scheduling.schedule_table import ScheduleTable
+
+
+def format_schedule_table(
+    table: ScheduleTable,
+    process_order: Optional[Sequence[str]] = None,
+    max_columns: Optional[int] = None,
+) -> str:
+    """Render a schedule table as fixed-width text.
+
+    ``process_order`` selects and orders the rows (all rows by default);
+    ``max_columns`` truncates very wide tables for readability.
+    """
+    columns = list(table.columns())
+    if max_columns is not None:
+        columns = columns[:max_columns]
+    rows = list(process_order) if process_order is not None else list(table.process_names)
+
+    headers = [str(column) for column in columns]
+    name_width = max([len("process")] + [len(str(r)) for r in rows] + [9])
+    widths = [max(len(header), 6) for header in headers]
+
+    def format_row(label: str, cells: List[str]) -> str:
+        body = " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+        return f"{label:<{name_width}} | {body}"
+
+    lines = [format_row("process", headers)]
+    lines.append("-" * len(lines[0]))
+    for name in rows:
+        cells = [_cell_for(table.process_entries(name), column) for column in columns]
+        lines.append(format_row(str(name), cells))
+    for condition in table.conditions:
+        cells = [_cell_for(table.condition_entries(condition), column) for column in columns]
+        lines.append(format_row(f"cond {condition}", cells))
+    return "\n".join(lines)
+
+
+def _cell_for(entries: Iterable, column: Conjunction) -> str:
+    for entry in entries:
+        if entry.column == column:
+            return f"{entry.start:g}"
+    return ""
+
+
+def schedule_table_summary(table: ScheduleTable) -> Dict[str, float]:
+    """Simple size metrics of a schedule table (rows, columns, entries)."""
+    entries = sum(len(table.process_entries(name)) for name in table.process_names)
+    entries += sum(len(table.condition_entries(c)) for c in table.conditions)
+    return {
+        "rows": float(len(table.process_names) + len(table.conditions)),
+        "columns": float(len(table.columns())),
+        "entries": float(entries),
+    }
+
+
+def format_condition_rows(table: ScheduleTable) -> str:
+    """Just the condition-broadcast rows of the table (the last rows of Table 1)."""
+    lines = []
+    for condition in sorted(table.conditions, key=lambda c: c.name):
+        cells = ", ".join(
+            f"t={entry.start:g} [{entry.column}]"
+            for entry in table.condition_entries(condition)
+        )
+        lines.append(f"{condition}: {cells}")
+    return "\n".join(lines)

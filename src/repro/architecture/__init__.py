@@ -1,0 +1,33 @@
+"""Target architecture model: processors, ASICs, shared buses and the mapping.
+
+The paper targets a generic heterogeneous architecture of programmable
+processors and hardware processors (ASICs) connected by shared buses.  This
+package models those processing elements, the system architecture (including
+bus connectivity and the condition-broadcast time ``tau0``) and the mapping
+function ``M: V -> PE`` that assigns every process to the element executing it.
+"""
+
+from .architecture import Architecture, ArchitectureError, simple_architecture
+from .mapping import Mapping, MappingError
+from .processing_element import (
+    PEKind,
+    ProcessingElement,
+    bus,
+    hardware,
+    make_processor,
+    programmable,
+)
+
+__all__ = [
+    "Architecture",
+    "ArchitectureError",
+    "Mapping",
+    "MappingError",
+    "PEKind",
+    "ProcessingElement",
+    "bus",
+    "hardware",
+    "make_processor",
+    "programmable",
+    "simple_architecture",
+]

@@ -1,0 +1,218 @@
+"""The target architecture: a collection of processors, ASICs and buses.
+
+An :class:`Architecture` groups the processing elements a design is mapped
+onto and records which processors each bus connects.  The paper assumes that
+at least one bus is connected to all processors so that condition values can
+be broadcast system-wide; :meth:`Architecture.broadcast_buses` exposes exactly
+those buses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .processing_element import PEKind, ProcessingElement, bus, hardware, programmable
+
+
+class ArchitectureError(ValueError):
+    """Raised when an architecture is malformed (duplicate names, bad topology)."""
+
+
+class Architecture:
+    """A heterogeneous target architecture.
+
+    Parameters
+    ----------
+    processors:
+        Programmable and hardware processing elements.
+    buses:
+        Shared buses.  Each bus may optionally be restricted to a subset of
+        the processors via ``connectivity``; by default every bus connects all
+        processors.
+    condition_broadcast_time:
+        The time ``tau0`` needed to broadcast one condition value on a bus.
+        The paper notes this is at most as large as any other communication
+        time because only a single boolean is transferred.
+    connectivity:
+        Optional mapping ``bus name -> iterable of processor names`` limiting
+        which processors a bus connects.
+    """
+
+    def __init__(
+        self,
+        processors: Iterable[ProcessingElement],
+        buses: Iterable[ProcessingElement],
+        condition_broadcast_time: float = 1.0,
+        connectivity: Optional[Dict[str, Iterable[str]]] = None,
+    ) -> None:
+        self._processors: Dict[str, ProcessingElement] = {}
+        self._buses: Dict[str, ProcessingElement] = {}
+        for pe in processors:
+            if pe.is_bus:
+                raise ArchitectureError(f"{pe.name} is a bus, not a processor")
+            if pe.name in self._processors:
+                raise ArchitectureError(f"duplicate processor name {pe.name!r}")
+            self._processors[pe.name] = pe
+        for pe in buses:
+            if not pe.is_bus:
+                raise ArchitectureError(f"{pe.name} is not a bus")
+            if pe.name in self._buses or pe.name in self._processors:
+                raise ArchitectureError(f"duplicate processing element name {pe.name!r}")
+            self._buses[pe.name] = pe
+        if not self._processors:
+            raise ArchitectureError("an architecture needs at least one processor")
+        if condition_broadcast_time < 0:
+            raise ArchitectureError("condition broadcast time must be non-negative")
+        self._tau0 = float(condition_broadcast_time)
+
+        self._connectivity: Dict[str, frozenset] = {}
+        all_processor_names = frozenset(self._processors)
+        for bus_name in self._buses:
+            self._connectivity[bus_name] = all_processor_names
+        if connectivity:
+            for bus_name, processor_names in connectivity.items():
+                if bus_name not in self._buses:
+                    raise ArchitectureError(f"unknown bus {bus_name!r} in connectivity")
+                names = frozenset(processor_names)
+                unknown = names - all_processor_names
+                if unknown:
+                    raise ArchitectureError(
+                        f"bus {bus_name!r} connects unknown processors {sorted(unknown)}"
+                    )
+                self._connectivity[bus_name] = names
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def processors(self) -> Tuple[ProcessingElement, ...]:
+        return tuple(self._processors.values())
+
+    @property
+    def programmable_processors(self) -> Tuple[ProcessingElement, ...]:
+        return tuple(pe for pe in self._processors.values() if pe.is_programmable)
+
+    @property
+    def hardware_processors(self) -> Tuple[ProcessingElement, ...]:
+        return tuple(pe for pe in self._processors.values() if pe.is_hardware)
+
+    @property
+    def buses(self) -> Tuple[ProcessingElement, ...]:
+        return tuple(self._buses.values())
+
+    @property
+    def processing_elements(self) -> Tuple[ProcessingElement, ...]:
+        return self.processors + self.buses
+
+    @property
+    def condition_broadcast_time(self) -> float:
+        """The time ``tau0`` to broadcast one condition value (paper, Section 3)."""
+        return self._tau0
+
+    def __iter__(self) -> Iterator[ProcessingElement]:
+        return iter(self.processing_elements)
+
+    def __contains__(self, pe: object) -> bool:
+        if isinstance(pe, ProcessingElement):
+            return pe.name in self._processors or pe.name in self._buses
+        if isinstance(pe, str):
+            return pe in self._processors or pe in self._buses
+        return False
+
+    def __getitem__(self, name: str) -> ProcessingElement:
+        if name in self._processors:
+            return self._processors[name]
+        if name in self._buses:
+            return self._buses[name]
+        raise KeyError(f"no processing element named {name!r}")
+
+    def get(self, name: str, default: Optional[ProcessingElement] = None) -> Optional[ProcessingElement]:
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    # -- topology -----------------------------------------------------------
+
+    def processors_on_bus(self, bus_name: str) -> Tuple[ProcessingElement, ...]:
+        """Return the processors connected to the given bus."""
+        if bus_name not in self._buses:
+            raise KeyError(f"no bus named {bus_name!r}")
+        return tuple(
+            self._processors[name] for name in sorted(self._connectivity[bus_name])
+        )
+
+    def broadcast_buses(self) -> Tuple[ProcessingElement, ...]:
+        """Return the buses connected to *all* processors.
+
+        The paper assumes at least one such bus exists: condition values are
+        broadcast on the first of these that becomes available after the
+        disjunction process terminates.
+        """
+        all_names = frozenset(self._processors)
+        return tuple(
+            self._buses[name]
+            for name in sorted(self._buses)
+            if self._connectivity[name] == all_names
+        )
+
+    def buses_between(
+        self, source: ProcessingElement, target: ProcessingElement
+    ) -> Tuple[ProcessingElement, ...]:
+        """Return the buses that connect both given processors."""
+        return tuple(
+            self._buses[name]
+            for name in sorted(self._buses)
+            if source.name in self._connectivity[name]
+            and target.name in self._connectivity[name]
+        )
+
+    def validate(self) -> None:
+        """Check the topology assumptions the scheduler relies on."""
+        if self._buses and not self.broadcast_buses():
+            raise ArchitectureError(
+                "no bus connects all processors; the condition-broadcast strategy "
+                "of the paper requires at least one such bus"
+            )
+
+    def describe(self) -> str:
+        """Return a short human-readable summary of the architecture."""
+        lines: List[str] = []
+        for pe in self.programmable_processors:
+            lines.append(f"processor {pe.name} (speed {pe.speed:g})")
+        for pe in self.hardware_processors:
+            lines.append(f"hardware  {pe.name} (speed {pe.speed:g})")
+        for pe in self.buses:
+            connected = ", ".join(sorted(self._connectivity[pe.name]))
+            lines.append(f"bus       {pe.name} (connects {connected})")
+        lines.append(f"condition broadcast time tau0 = {self._tau0:g}")
+        return "\n".join(lines)
+
+
+def simple_architecture(
+    num_programmable: int,
+    num_hardware: int = 0,
+    num_buses: int = 1,
+    condition_broadcast_time: float = 1.0,
+    processor_speed: float = 1.0,
+) -> Architecture:
+    """Build a fully-connected architecture with uniformly named elements.
+
+    Processors are named ``pe1``, ``pe2``, ... (programmable first, then
+    hardware); buses are named ``bus1``, ``bus2``, ...
+    """
+    if num_programmable < 1:
+        raise ArchitectureError("need at least one programmable processor")
+    if num_hardware < 0 or num_buses < 0:
+        raise ArchitectureError("element counts must be non-negative")
+    processors: List[ProcessingElement] = []
+    index = 1
+    for _ in range(num_programmable):
+        processors.append(programmable(f"pe{index}", speed=processor_speed))
+        index += 1
+    for _ in range(num_hardware):
+        processors.append(hardware(f"pe{index}"))
+        index += 1
+    buses: Sequence[ProcessingElement] = [bus(f"bus{i + 1}") for i in range(num_buses)]
+    return Architecture(
+        processors, buses, condition_broadcast_time=condition_broadcast_time
+    )

@@ -1,0 +1,116 @@
+"""The mapping function M: V -> PE.
+
+A :class:`Mapping` assigns each process of a conditional process graph to the
+processing element that executes it, and each communication process to a bus.
+The paper assumes hardware/software partitioning and mapping have already been
+performed (e.g. by the simulated-annealing/tabu-search approach of Eles et
+al., 1997); this module only represents and validates the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping as TMapping, Optional, Tuple
+
+from .architecture import Architecture
+from .processing_element import ProcessingElement
+
+
+class MappingError(ValueError):
+    """Raised when a mapping is inconsistent with the graph or the architecture."""
+
+
+class Mapping:
+    """An assignment of process names to processing elements.
+
+    The mapping is keyed by process *name* (a string) so that it can be
+    constructed before or after communication processes are inserted into the
+    graph.  Values are :class:`ProcessingElement` instances belonging to one
+    :class:`Architecture`.
+    """
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        assignments: Optional[TMapping[str, ProcessingElement]] = None,
+    ) -> None:
+        self._architecture = architecture
+        self._assignments: Dict[str, ProcessingElement] = {}
+        if assignments:
+            for process_name, pe in assignments.items():
+                self.assign(process_name, pe)
+
+    @property
+    def architecture(self) -> Architecture:
+        return self._architecture
+
+    # -- mutation -----------------------------------------------------------
+
+    def assign(self, process_name: str, pe: ProcessingElement) -> None:
+        """Assign a process to a processing element of the architecture."""
+        if isinstance(pe, str):
+            pe = self._architecture[pe]
+        if pe not in self._architecture:
+            raise MappingError(
+                f"{pe.name} is not a processing element of the architecture"
+            )
+        self._assignments[process_name] = pe
+
+    def assign_many(self, pe: ProcessingElement, process_names: Iterable[str]) -> None:
+        """Assign several processes to the same processing element."""
+        for name in process_names:
+            self.assign(name, pe)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __getitem__(self, process_name: str) -> ProcessingElement:
+        try:
+            return self._assignments[process_name]
+        except KeyError:
+            raise MappingError(f"process {process_name!r} is not mapped") from None
+
+    def get(self, process_name: str) -> Optional[ProcessingElement]:
+        return self._assignments.get(process_name)
+
+    def __contains__(self, process_name: str) -> bool:
+        return process_name in self._assignments
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._assignments)
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def items(self) -> Iterator[Tuple[str, ProcessingElement]]:
+        return iter(self._assignments.items())
+
+    def processes_on(self, pe: ProcessingElement) -> Tuple[str, ...]:
+        """Return the names of all processes mapped to the given element."""
+        return tuple(
+            sorted(name for name, mapped in self._assignments.items() if mapped == pe)
+        )
+
+    def copy(self) -> "Mapping":
+        return Mapping(self._architecture, dict(self._assignments))
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_for(self, process_names: Iterable[str]) -> None:
+        """Check that every given process is mapped to a non-bus element."""
+        for name in process_names:
+            pe = self.get(name)
+            if pe is None:
+                raise MappingError(f"process {name!r} is not mapped")
+            if pe.is_bus:
+                raise MappingError(
+                    f"ordinary process {name!r} is mapped to bus {pe.name!r}; "
+                    "only communication processes may be mapped to buses"
+                )
+
+    def describe(self) -> str:
+        """Return a human-readable summary grouped by processing element."""
+        lines = []
+        for pe in self._architecture.processing_elements:
+            names = self.processes_on(pe)
+            if names:
+                lines.append(f"{pe.name}: {', '.join(names)}")
+        return "\n".join(lines)

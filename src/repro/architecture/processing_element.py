@@ -1,0 +1,106 @@
+"""Processing elements of the target architecture.
+
+The paper's generic architecture consists of programmable processors,
+application-specific hardware processors (ASICs) and shared buses.  The
+execution model differs per kind:
+
+* a **programmable processor** executes one process at a time
+  (non-preemptive);
+* a **hardware processor** (ASIC) can execute processes in parallel;
+* a **bus** performs one data transfer at a time; communication processes and
+  condition broadcasts are mapped onto buses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class PEKind(Enum):
+    """The three kinds of processing elements of the target architecture."""
+
+    PROGRAMMABLE = "programmable"
+    HARDWARE = "hardware"
+    BUS = "bus"
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """A processing element (processor, ASIC or bus) of the architecture.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the architecture, e.g. ``"pe1"`` or ``"bus1"``.
+    kind:
+        Whether the element is a programmable processor, a hardware processor
+        or a bus.
+    speed:
+        Relative speed factor.  A process with nominal execution time ``t``
+        runs in ``t / speed`` on this element.  The paper's ATM case study
+        compares a 486DX2-80 against a Pentium-120; modelling the Pentium with
+        ``speed > 1`` captures that comparison.
+    description:
+        Optional free-text note (used in reports).
+    """
+
+    name: str
+    kind: PEKind
+    speed: float = 1.0
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("processing element name must be non-empty")
+        if self.speed <= 0:
+            raise ValueError("processing element speed must be positive")
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_programmable(self) -> bool:
+        return self.kind is PEKind.PROGRAMMABLE
+
+    @property
+    def is_hardware(self) -> bool:
+        return self.kind is PEKind.HARDWARE
+
+    @property
+    def is_bus(self) -> bool:
+        return self.kind is PEKind.BUS
+
+    @property
+    def executes_sequentially(self) -> bool:
+        """True when only one process may run on this element at any moment."""
+        return self.kind in (PEKind.PROGRAMMABLE, PEKind.BUS)
+
+    def scaled_time(self, nominal_time: float) -> float:
+        """Execution time of a process with the given nominal time on this element."""
+        if nominal_time < 0:
+            raise ValueError("nominal execution time must be non-negative")
+        return nominal_time / self.speed
+
+
+def programmable(name: str, speed: float = 1.0, description: str = "") -> ProcessingElement:
+    """Create a programmable processor."""
+    return ProcessingElement(name, PEKind.PROGRAMMABLE, speed, description)
+
+
+def hardware(name: str, speed: float = 1.0, description: str = "") -> ProcessingElement:
+    """Create a hardware processor (ASIC)."""
+    return ProcessingElement(name, PEKind.HARDWARE, speed, description)
+
+
+def bus(name: str, speed: float = 1.0, description: str = "") -> ProcessingElement:
+    """Create a shared bus."""
+    return ProcessingElement(name, PEKind.BUS, speed, description)
+
+
+def make_processor(
+    name: str, *, is_hardware: bool = False, speed: float = 1.0, description: str = ""
+) -> ProcessingElement:
+    """Create either a programmable or a hardware processor."""
+    kind = PEKind.HARDWARE if is_hardware else PEKind.PROGRAMMABLE
+    return ProcessingElement(name, kind, speed, description)

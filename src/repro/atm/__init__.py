@@ -1,0 +1,37 @@
+"""ATM switch OAM block case study (the paper's Table 2 experiment)."""
+
+from .evaluate import (
+    PAPER_TABLE2,
+    OAMEvaluation,
+    candidate_mappings,
+    evaluate_mode,
+    evaluate_table2,
+    table2_delays,
+)
+from .modes import OAMMode, build_all_modes, build_mode1, build_mode2, build_mode3
+from .processors import (
+    OAMArchitectureConfig,
+    PENTIUM_SPEEDUP,
+    build_oam_architecture,
+    processor_speed,
+    table2_architecture_configs,
+)
+
+__all__ = [
+    "OAMArchitectureConfig",
+    "OAMEvaluation",
+    "OAMMode",
+    "PAPER_TABLE2",
+    "PENTIUM_SPEEDUP",
+    "build_all_modes",
+    "build_mode1",
+    "build_mode2",
+    "build_mode3",
+    "build_oam_architecture",
+    "candidate_mappings",
+    "evaluate_mode",
+    "evaluate_table2",
+    "processor_speed",
+    "table2_architecture_configs",
+    "table2_delays",
+]

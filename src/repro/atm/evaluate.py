@@ -1,0 +1,151 @@
+"""Worst-case delay estimation of the OAM block on alternative architectures.
+
+The paper's experiment (Table 2) estimates the worst-case delay of each OAM
+mode on ten architecture variants in order to select an architecture and to
+dimension the input buffers.  "For each architecture, processes have been
+assigned to processors taking into consideration the potential parallelism of
+the process graphs and the amount of communication between processes" — we
+emulate that by evaluating a small set of candidate mappings (all work on the
+fastest CPU, parallel groups split over the CPUs, memory accesses on one or on
+both memory modules) and keeping the best resulting worst-case delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from ..architecture import Architecture, Mapping
+from ..graph import expand_communications
+from ..scheduling import MergeResult, ScheduleMerger
+from .modes import OAMMode, build_all_modes
+from .processors import (
+    OAMArchitectureConfig,
+    build_oam_architecture,
+    table2_architecture_configs,
+)
+
+#: Worst-case delays (ns) published in Table 2 of the paper, for comparison.
+PAPER_TABLE2: Dict[int, Dict[str, float]] = {
+    1: {
+        "1P/1M 486": 4471, "1P/1M Pentium": 2701,
+        "1P/2M 486": 4471, "1P/2M Pentium": 2701,
+        "2P/1M 2x486": 2932, "2P/1M 2xPentium": 2131, "2P/1M 486+Pentium": 2532,
+        "2P/2M 2x486": 2932, "2P/2M 2xPentium": 1932, "2P/2M 486+Pentium": 2532,
+    },
+    2: {
+        "1P/1M 486": 1732, "1P/1M Pentium": 1167,
+        "1P/2M 486": 1732, "1P/2M Pentium": 1167,
+        "2P/1M 2x486": 1732, "2P/1M 2xPentium": 1167, "2P/1M 486+Pentium": 1167,
+        "2P/2M 2x486": 1732, "2P/2M 2xPentium": 1167, "2P/2M 486+Pentium": 1167,
+    },
+    3: {
+        "1P/1M 486": 5852, "1P/1M Pentium": 3548,
+        "1P/2M 486": 5852, "1P/2M Pentium": 3548,
+        "2P/1M 2x486": 5033, "2P/1M 2xPentium": 3548, "2P/1M 486+Pentium": 3548,
+        "2P/2M 2x486": 5033, "2P/2M 2xPentium": 3548, "2P/2M 486+Pentium": 3548,
+    },
+}
+
+
+@dataclass(frozen=True)
+class OAMEvaluation:
+    """The best schedule found for one mode on one architecture variant."""
+
+    mode: int
+    architecture_label: str
+    worst_case_delay: float
+    cpu_strategy: str
+    memory_strategy: str
+    result: MergeResult
+
+
+def candidate_mappings(
+    mode: OAMMode, architecture: Architecture
+) -> List[Tuple[str, str, Mapping]]:
+    """Candidate process-to-resource assignments for one architecture variant."""
+    cpus = sorted(
+        (pe for pe in architecture.programmable_processors if pe.name.startswith("cpu")),
+        key=lambda pe: (-pe.speed, pe.name),
+    )
+    memories = sorted(
+        (pe for pe in architecture.programmable_processors if pe.name.startswith("mem")),
+        key=lambda pe: pe.name,
+    )
+    if not cpus or not memories:
+        raise ValueError("an OAM architecture needs at least one CPU and one memory")
+
+    cpu_strategies = ["single"]
+    if len(cpus) > 1:
+        cpu_strategies.append("split")
+    memory_strategies = ["single"]
+    if len(memories) > 1:
+        memory_strategies.append("split")
+
+    candidates: List[Tuple[str, str, Mapping]] = []
+    for cpu_strategy, memory_strategy in product(cpu_strategies, memory_strategies):
+        mapping = Mapping(architecture)
+        for name, group in mode.cpu_groups.items():
+            if cpu_strategy == "split" and group == "B":
+                mapping.assign(name, cpus[-1])
+            else:
+                mapping.assign(name, cpus[0])
+        for name, module in mode.memory_groups.items():
+            if memory_strategy == "split" and module == 2:
+                mapping.assign(name, memories[-1])
+            else:
+                mapping.assign(name, memories[0])
+        candidates.append((cpu_strategy, memory_strategy, mapping))
+    return candidates
+
+
+def evaluate_mode(
+    mode: OAMMode, config: OAMArchitectureConfig
+) -> OAMEvaluation:
+    """Best worst-case delay of one mode on one architecture variant."""
+    architecture = build_oam_architecture(config)
+    best: Optional[OAMEvaluation] = None
+    for cpu_strategy, memory_strategy, mapping in candidate_mappings(mode, architecture):
+        expanded = expand_communications(mode.graph, mapping, architecture)
+        merger = ScheduleMerger(expanded.graph, expanded.mapping, architecture)
+        result = merger.merge()
+        evaluation = OAMEvaluation(
+            mode=mode.index,
+            architecture_label=config.label,
+            worst_case_delay=result.delta_max,
+            cpu_strategy=cpu_strategy,
+            memory_strategy=memory_strategy,
+            result=result,
+        )
+        if best is None or evaluation.worst_case_delay < best.worst_case_delay:
+            best = evaluation
+    assert best is not None
+    return best
+
+
+def evaluate_table2(
+    modes: Optional[List[OAMMode]] = None,
+    configs: Optional[List[OAMArchitectureConfig]] = None,
+) -> Dict[int, Dict[str, OAMEvaluation]]:
+    """Evaluate every mode on every architecture variant (the full Table 2)."""
+    modes = modes if modes is not None else build_all_modes()
+    configs = configs if configs is not None else table2_architecture_configs()
+    table: Dict[int, Dict[str, OAMEvaluation]] = {}
+    for mode in modes:
+        row: Dict[str, OAMEvaluation] = {}
+        for config in configs:
+            row[config.label] = evaluate_mode(mode, config)
+        table[mode.index] = row
+    return table
+
+
+def table2_delays(
+    table: Dict[int, Dict[str, OAMEvaluation]]
+) -> Dict[int, Dict[str, float]]:
+    """Reduce a full evaluation to the delays only (same shape as PAPER_TABLE2)."""
+    return {
+        mode: {label: evaluation.worst_case_delay for label, evaluation in row.items()}
+        for mode, row in table.items()
+    }
+

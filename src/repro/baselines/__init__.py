@@ -1,0 +1,23 @@
+"""Baselines and bounds the schedule table is compared against."""
+
+from .bounds import (
+    critical_path_length,
+    critical_path_lower_bound,
+    ideal_per_path_delay,
+    per_path_schedules,
+)
+from .unconditional import (
+    UnconditionalBaseline,
+    schedule_unconditionally,
+    strip_conditions,
+)
+
+__all__ = [
+    "UnconditionalBaseline",
+    "critical_path_length",
+    "critical_path_lower_bound",
+    "ideal_per_path_delay",
+    "per_path_schedules",
+    "schedule_unconditionally",
+    "strip_conditions",
+]

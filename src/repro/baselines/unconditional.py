@@ -1,0 +1,60 @@
+"""Condition-blind baseline: schedule the graph as if it were pure dataflow.
+
+Most prior co-synthesis schedulers discussed in the paper's related work only
+capture dataflow.  Applied to a conditional process graph, the natural
+fallback is to ignore the conditions entirely and build one static schedule in
+which *every* process executes — both branches of every disjunction.  The
+resulting delay is always achievable (it never activates a process early) and
+serves as the pessimistic upper baseline against which the schedule table's
+worst-case delay is compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..architecture.architecture import Architecture
+from ..architecture.mapping import Mapping
+from ..graph.cpg import ConditionalProcessGraph
+from ..graph.edges import Edge
+from ..graph.paths import PathEnumerator
+from ..scheduling.list_scheduler import PathListScheduler
+from ..scheduling.schedule import PathSchedule
+
+
+@dataclass(frozen=True)
+class UnconditionalBaseline:
+    """Result of the condition-blind scheduling baseline."""
+
+    schedule: PathSchedule
+    delay: float
+    flattened_graph: ConditionalProcessGraph
+
+
+def strip_conditions(graph: ConditionalProcessGraph) -> ConditionalProcessGraph:
+    """Return a copy of the graph in which every conditional edge became simple."""
+    flattened = ConditionalProcessGraph(f"{graph.name}-unconditional")
+    for process in graph.processes:
+        flattened.add_process(process)
+    for edge in graph.edges:
+        flattened.add_edge(
+            Edge(edge.src, edge.dst, None, edge.communication_time)
+        )
+    return flattened
+
+
+def schedule_unconditionally(
+    graph: ConditionalProcessGraph,
+    mapping: Mapping,
+    architecture: Optional[Architecture] = None,
+) -> UnconditionalBaseline:
+    """Schedule every process of the graph, ignoring all conditions."""
+    flattened = strip_conditions(graph)
+    paths = PathEnumerator(flattened).paths()
+    assert len(paths) == 1, "a condition-free graph has exactly one path"
+    scheduler = PathListScheduler(flattened, mapping, architecture)
+    schedule = scheduler.schedule(paths[0])
+    return UnconditionalBaseline(
+        schedule=schedule, delay=schedule.delay, flattened_graph=flattened
+    )

@@ -1,0 +1,176 @@
+"""Command-line interface of the reproduction.
+
+Four subcommands cover the main uses of the library without writing Python:
+
+``repro-cpg info <system.json>``
+    Parse a system description, validate it and print its characteristics
+    (processes, conditions, alternative paths, architecture).
+
+``repro-cpg schedule <system.json>``
+    Generate the schedule table for a system description, print the per-path
+    delays, the worst-case delay and (optionally) the full table.
+
+``repro-cpg fig1``
+    Run the paper's Fig. 1 example end to end.
+
+``repro-cpg sweep``
+    A small randomised sweep reporting the Fig. 5 metric (delay increase) for
+    the requested sizes and path counts.
+
+The console script ``repro-cpg`` is installed with the package; the module can
+also be run with ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import aggregate, format_schedule_table, format_series
+from .data import load_fig1_example
+from .generator import RandomSystemGenerator, paper_experiment_configs
+from .graph import PathEnumerator
+from .io import load_system
+from .scheduling import ScheduleMerger
+from .simulation import validate_merge_result
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cpg",
+        description="Scheduling of conditional process graphs (Eles et al., DATE 1998)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="describe a system description file")
+    info.add_argument("system", help="path to a JSON system description")
+
+    schedule = subparsers.add_parser(
+        "schedule", help="generate the schedule table for a system description"
+    )
+    schedule.add_argument("system", help="path to a JSON system description")
+    schedule.add_argument(
+        "--table", action="store_true", help="print the full schedule table"
+    )
+    schedule.add_argument(
+        "--validate",
+        action="store_true",
+        help="execute every alternative path on the run-time simulator",
+    )
+
+    subparsers.add_parser("fig1", help="run the paper's Fig. 1 example")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="randomised delay-increase sweep (the Fig. 5 metric)"
+    )
+    sweep.add_argument("--nodes", type=int, nargs="+", default=[40])
+    sweep.add_argument("--paths", type=int, nargs="+", default=[4, 8])
+    sweep.add_argument("--graphs", type=int, default=2, help="graphs per setting")
+
+    return parser
+
+
+def _command_info(path: str) -> int:
+    system = load_system(path)
+    system.graph.validate()
+    expanded = system.expand()
+    paths = PathEnumerator(expanded.graph).count()
+    print(f"system        : {system.name}")
+    print(f"processes     : {len(system.graph.ordinary_processes)} ordinary, "
+          f"{len(expanded.communications)} communications after expansion")
+    print(f"conditions    : {[str(c) for c in system.graph.conditions]}")
+    print(f"alternative paths: {paths}")
+    print("architecture  :")
+    for line in system.architecture.describe().splitlines():
+        print(f"  {line}")
+    print("mapping       :")
+    for line in system.mapping.describe().splitlines():
+        print(f"  {line}")
+    return 0
+
+
+def _command_schedule(path: str, show_table: bool, validate: bool) -> int:
+    system = load_system(path)
+    system.graph.validate()
+    expanded = system.expand()
+    result = ScheduleMerger(
+        expanded.graph, expanded.mapping, system.architecture
+    ).merge()
+    print(f"alternative paths : {len(result.paths)}")
+    for label, schedule in sorted(
+        result.path_schedules.items(), key=lambda kv: -kv[1].delay
+    ):
+        print(f"  {str(label):<16} optimal delay {schedule.delay:g}")
+    print(f"delta_M   = {result.delta_m:g}")
+    print(f"delta_max = {result.delta_max:g} "
+          f"(increase {result.delay_increase_percent:.2f}%)")
+    if show_table:
+        print()
+        print(format_schedule_table(result.table))
+    if validate:
+        report = validate_merge_result(
+            expanded.graph, expanded.mapping, result, system.architecture
+        )
+        print(f"validated {report.paths_checked} paths; "
+              f"simulated worst case {report.worst_case_delay:g}")
+    return 0
+
+
+def _command_fig1() -> int:
+    example = load_fig1_example()
+    result = ScheduleMerger(
+        example.graph, example.expanded_mapping, example.architecture
+    ).merge()
+    for label, schedule in sorted(
+        result.path_schedules.items(), key=lambda kv: -kv[1].delay
+    ):
+        print(f"  {str(label):<14} optimal delay {schedule.delay:g}")
+    print(f"delta_M   = {result.delta_m:g}")
+    print(f"delta_max = {result.delta_max:g}")
+    report = validate_merge_result(
+        example.graph, example.expanded_mapping, result, example.architecture
+    )
+    print(f"validated {report.paths_checked} alternative paths")
+    return 0
+
+
+def _command_sweep(nodes: List[int], paths: List[int], graphs: int) -> int:
+    series = {}
+    for size in nodes:
+        configs = paper_experiment_configs(
+            size, graphs, paths_options=paths, base_seed=size
+        )
+        by_paths = {}
+        for config in configs:
+            system = RandomSystemGenerator(config).generate()
+            result = ScheduleMerger(
+                system.graph, system.expanded_mapping, system.architecture
+            ).merge()
+            by_paths.setdefault(config.alternative_paths, []).append(result)
+        series[f"{size} nodes"] = {
+            count: aggregate(results).average_increase_percent
+            for count, results in sorted(by_paths.items())
+        }
+    print(format_series(
+        "average increase of delta_max over delta_M (%)", "paths", series
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-cpg`` console script."""
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "info":
+        return _command_info(arguments.system)
+    if arguments.command == "schedule":
+        return _command_schedule(arguments.system, arguments.table, arguments.validate)
+    if arguments.command == "fig1":
+        return _command_fig1()
+    if arguments.command == "sweep":
+        return _command_sweep(arguments.nodes, arguments.paths, arguments.graphs)
+    raise AssertionError(f"unhandled command {arguments.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Boolean machinery for conditions, guards, path labels and column headers.
+
+The conditional process graph model of Eles et al. attaches boolean
+*conditions* to conditional edges.  This package provides the small, exact
+boolean algebra the scheduler needs:
+
+* :class:`Condition` / :class:`Literal` — condition variables and polarised
+  occurrences;
+* :class:`Conjunction` — an AND of literals (path labels, schedule-table
+  column headers, "conditions known at time t on PE p");
+* :class:`BoolExpr` — sum-of-products expressions (general process guards);
+* assignment helpers for enumerating and manipulating condition valuations.
+"""
+
+from .assignment import (
+    Assignment,
+    all_assignments,
+    assignment_from_literals,
+    conjunction_from_assignment,
+    extend_assignment,
+    is_extension_of,
+    literals_from_assignment,
+    restrict_assignment,
+)
+from .conjunction import Conjunction, ContradictionError
+from .expressions import BoolExpr
+from .literals import Condition, Literal, conditions_of
+
+__all__ = [
+    "Assignment",
+    "BoolExpr",
+    "Condition",
+    "Conjunction",
+    "ContradictionError",
+    "Literal",
+    "all_assignments",
+    "assignment_from_literals",
+    "conditions_of",
+    "conjunction_from_assignment",
+    "extend_assignment",
+    "is_extension_of",
+    "literals_from_assignment",
+    "restrict_assignment",
+]

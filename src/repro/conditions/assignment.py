@@ -1,0 +1,73 @@
+"""Helpers for working with (partial) assignments of condition values.
+
+An assignment maps :class:`~repro.conditions.literals.Condition` objects to
+booleans.  Complete assignments select exactly one alternative path through a
+conditional process graph; partial assignments describe the knowledge of the
+run-time scheduler at a given moment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, Mapping
+
+from .conjunction import Conjunction
+from .literals import Condition, Literal
+
+Assignment = Dict[Condition, bool]
+
+
+def assignment_from_literals(literals: Iterable[Literal]) -> Assignment:
+    """Build an assignment dict from literals, rejecting contradictions."""
+    result: Assignment = {}
+    for literal in literals:
+        existing = result.get(literal.condition)
+        if existing is not None and existing != literal.value:
+            raise ValueError(f"contradictory literals for {literal.condition}")
+        result[literal.condition] = literal.value
+    return result
+
+
+def literals_from_assignment(assignment: Mapping[Condition, bool]) -> frozenset:
+    """Return the set of literals equivalent to an assignment."""
+    return frozenset(Literal(cond, value) for cond, value in assignment.items())
+
+
+def conjunction_from_assignment(assignment: Mapping[Condition, bool]) -> Conjunction:
+    """Return the conjunction equivalent to an assignment."""
+    return Conjunction.from_assignment(assignment)
+
+
+def all_assignments(conditions: Iterable[Condition]) -> Iterator[Assignment]:
+    """Yield every complete assignment of the given conditions (2^n of them)."""
+    variables = sorted(set(conditions))
+    for values in itertools.product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+def extend_assignment(
+    assignment: Mapping[Condition, bool], condition: Condition, value: bool
+) -> Assignment:
+    """Return a copy of ``assignment`` with one extra condition fixed."""
+    if condition in assignment and assignment[condition] != value:
+        raise ValueError(f"condition {condition} already assigned the opposite value")
+    result = dict(assignment)
+    result[condition] = value
+    return result
+
+
+def restrict_assignment(
+    assignment: Mapping[Condition, bool], conditions: Iterable[Condition]
+) -> Assignment:
+    """Return the sub-assignment over ``conditions`` (missing ones are dropped)."""
+    allowed = set(conditions)
+    return {cond: value for cond, value in assignment.items() if cond in allowed}
+
+
+def is_extension_of(
+    assignment: Mapping[Condition, bool], base: Mapping[Condition, bool]
+) -> bool:
+    """True when ``assignment`` agrees with and covers every condition of ``base``."""
+    return all(
+        cond in assignment and assignment[cond] == value for cond, value in base.items()
+    )

@@ -1,0 +1,183 @@
+"""Conjunctions of condition literals.
+
+A :class:`Conjunction` is a set of literals interpreted as their logical AND.
+It is the shape used throughout the paper for path labels (``D∧C∧!K``),
+schedule-table column headers and the "conditions known at a given moment on a
+processing element".  The empty conjunction is ``true``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional
+
+from .literals import Condition, Literal
+
+
+class ContradictionError(ValueError):
+    """Raised when a conjunction would contain a literal and its negation."""
+
+
+class Conjunction:
+    """An immutable conjunction (AND) of literals over distinct conditions.
+
+    The conjunction with no literals represents ``true``.  A conjunction never
+    contains two literals over the same condition: attempting to build one
+    raises :class:`ContradictionError` (use :meth:`try_and` for a non-raising
+    variant).
+    """
+
+    __slots__ = ("_literals", "_hash")
+
+    def __init__(self, literals: Iterable[Literal] = ()) -> None:
+        by_condition: Dict[Condition, Literal] = {}
+        for literal in literals:
+            existing = by_condition.get(literal.condition)
+            if existing is not None and existing.value != literal.value:
+                raise ContradictionError(
+                    f"contradictory literals {existing} and {literal}"
+                )
+            by_condition[literal.condition] = literal
+        self._literals: FrozenSet[Literal] = frozenset(by_condition.values())
+        self._hash = hash(self._literals)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def true(cls) -> "Conjunction":
+        """The neutral conjunction (no literals), i.e. logical ``true``."""
+        return _TRUE
+
+    @classmethod
+    def of(cls, *literals: Literal) -> "Conjunction":
+        """Build a conjunction from positional literals."""
+        return cls(literals)
+
+    @classmethod
+    def from_assignment(cls, assignment: Mapping[Condition, bool]) -> "Conjunction":
+        """Build the conjunction equivalent to a (partial) condition assignment."""
+        return cls(Literal(cond, value) for cond, value in assignment.items())
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def literals(self) -> FrozenSet[Literal]:
+        return self._literals
+
+    @property
+    def conditions(self) -> FrozenSet[Condition]:
+        return frozenset(lit.condition for lit in self._literals)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(sorted(self._literals))
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def __contains__(self, literal: Literal) -> bool:
+        return literal in self._literals
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Conjunction):
+            return NotImplemented
+        return self._literals == other._literals
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if not self._literals:
+            return "true"
+        return " & ".join(str(lit) for lit in sorted(self._literals))
+
+    def __repr__(self) -> str:
+        return f"Conjunction({str(self)!r})"
+
+    def is_true(self) -> bool:
+        """True when this is the empty conjunction (logical ``true``)."""
+        return not self._literals
+
+    # -- algebra -----------------------------------------------------------
+
+    def value_of(self, condition: Condition) -> Optional[bool]:
+        """Return the polarity this conjunction fixes for ``condition``, or None."""
+        for literal in self._literals:
+            if literal.condition == condition:
+                return literal.value
+        return None
+
+    def conjoin(self, other: "Conjunction") -> "Conjunction":
+        """Return the AND of the two conjunctions.
+
+        Raises :class:`ContradictionError` when the result is unsatisfiable.
+        """
+        return Conjunction(tuple(self._literals) + tuple(other._literals))
+
+    def try_and(self, other: "Conjunction") -> Optional["Conjunction"]:
+        """Return the AND of the two conjunctions, or None when contradictory."""
+        try:
+            return self.conjoin(other)
+        except ContradictionError:
+            return None
+
+    def and_literal(self, literal: Literal) -> "Conjunction":
+        """Return this conjunction extended with one more literal."""
+        return Conjunction(tuple(self._literals) + (literal,))
+
+    def is_compatible_with(self, other: "Conjunction") -> bool:
+        """True when the two conjunctions can be simultaneously true."""
+        return self.try_and(other) is not None
+
+    def is_mutually_exclusive_with(self, other: "Conjunction") -> bool:
+        """True when ``self AND other`` is unsatisfiable (requirement 2 of the paper)."""
+        return self.try_and(other) is None
+
+    def implies(self, other: "Conjunction") -> bool:
+        """True when every assignment satisfying ``self`` also satisfies ``other``.
+
+        For conjunctions this reduces to ``other``'s literals being a subset of
+        ``self``'s literals.
+        """
+        return other._literals <= self._literals
+
+    def restricted_to(self, conditions: Iterable[Condition]) -> "Conjunction":
+        """Return the conjunction of only the literals over the given conditions."""
+        allowed = frozenset(conditions)
+        return Conjunction(
+            lit for lit in self._literals if lit.condition in allowed
+        )
+
+    def without(self, conditions: Iterable[Condition]) -> "Conjunction":
+        """Return the conjunction with literals over the given conditions removed."""
+        removed = frozenset(conditions)
+        return Conjunction(
+            lit for lit in self._literals if lit.condition not in removed
+        )
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[Condition, bool]) -> bool:
+        """Evaluate under a complete assignment of this conjunction's conditions."""
+        return all(lit.evaluate(assignment) for lit in self._literals)
+
+    def satisfied_by_partial(self, assignment: Mapping[Condition, bool]) -> bool:
+        """True when every literal's condition is assigned and matches."""
+        for literal in self._literals:
+            value = assignment.get(literal.condition)
+            if value is None or value != literal.value:
+                return False
+        return True
+
+    def consistent_with_partial(self, assignment: Mapping[Condition, bool]) -> bool:
+        """True when no assigned condition contradicts this conjunction."""
+        for literal in self._literals:
+            value = assignment.get(literal.condition)
+            if value is not None and value != literal.value:
+                return False
+        return True
+
+    def as_assignment(self) -> Dict[Condition, bool]:
+        """Return the (partial) assignment equivalent to this conjunction."""
+        return {lit.condition: lit.value for lit in self._literals}
+
+
+_TRUE = Conjunction(())

@@ -1,0 +1,248 @@
+"""Sum-of-products boolean expressions over condition variables.
+
+Guards of processes in a conditional process graph are, in general, boolean
+expressions: a process below a disjunction node has a conjunctive guard such
+as ``D & K``, while a conjunction process that re-joins alternative paths has
+a disjunctive guard (the OR of the guards of its alternative predecessors,
+which usually simplifies back to the guard that held before the split).
+
+:class:`BoolExpr` represents such expressions as a set of
+:class:`~repro.conditions.conjunction.Conjunction` terms (sum of products).
+Because a conditional process graph only ever involves a handful of condition
+variables, semantic questions (implication, equivalence, satisfiability) are
+decided exactly by evaluating over all assignments of the mentioned variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from .conjunction import Conjunction
+from .literals import Condition, Literal
+
+
+class BoolExpr:
+    """A boolean expression in sum-of-products form.
+
+    The empty sum is ``false``; a sum containing the empty conjunction is
+    ``true``.  Instances are immutable and hashable on their *semantic*
+    canonical form (the set of satisfying assignments over mentioned
+    variables is not used directly for hashing, but terms are syntactically
+    minimised: contradictory terms dropped and absorbed terms removed).
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Iterable[Conjunction] = ()) -> None:
+        self._terms: FrozenSet[Conjunction] = _minimise(terms)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def true(cls) -> "BoolExpr":
+        return _TRUE_EXPR
+
+    @classmethod
+    def false(cls) -> "BoolExpr":
+        return _FALSE_EXPR
+
+    @classmethod
+    def from_conjunction(cls, conjunction: Conjunction) -> "BoolExpr":
+        return cls((conjunction,))
+
+    @classmethod
+    def from_literal(cls, literal: Literal) -> "BoolExpr":
+        return cls((Conjunction((literal,)),))
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def terms(self) -> FrozenSet[Conjunction]:
+        return self._terms
+
+    @property
+    def conditions(self) -> FrozenSet[Condition]:
+        result: set = set()
+        for term in self._terms:
+            result.update(term.conditions)
+        return frozenset(result)
+
+    def __iter__(self) -> Iterator[Conjunction]:
+        return iter(sorted(self._terms, key=str))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoolExpr):
+            return NotImplemented
+        return self.is_equivalent_to(other)
+
+    def __hash__(self) -> int:
+        # Hash on the set of variables plus truth over a canonical enumeration
+        # so that semantically equal expressions hash equally.
+        variables = tuple(sorted(self.conditions))
+        truth: Tuple[bool, ...] = tuple(
+            self.evaluate(dict(zip(variables, values)))
+            for values in itertools.product((False, True), repeat=len(variables))
+        )
+        return hash((variables, truth))
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "false"
+        if self.is_true():
+            return "true"
+        return " | ".join(
+            f"({term})" if len(term) > 1 else str(term)
+            for term in sorted(self._terms, key=str)
+        )
+
+    def __repr__(self) -> str:
+        return f"BoolExpr({str(self)!r})"
+
+    def is_false(self) -> bool:
+        return not self._terms
+
+    def is_true(self) -> bool:
+        """True when the expression holds under every assignment (a tautology)."""
+        if any(term.is_true() for term in self._terms):
+            return True
+        if not self._terms:
+            return False
+        return all(
+            self.evaluate(assignment) for assignment in self._assignments(self.conditions)
+        )
+
+    # -- algebra -----------------------------------------------------------
+
+    def or_(self, other: "BoolExpr") -> "BoolExpr":
+        return BoolExpr(tuple(self._terms) + tuple(other._terms))
+
+    def and_(self, other: "BoolExpr") -> "BoolExpr":
+        products = []
+        for left in self._terms:
+            for right in other._terms:
+                combined = left.try_and(right)
+                if combined is not None:
+                    products.append(combined)
+        return BoolExpr(products)
+
+    def and_conjunction(self, conjunction: Conjunction) -> "BoolExpr":
+        return self.and_(BoolExpr.from_conjunction(conjunction))
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return self.or_(other)
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return self.and_(other)
+
+    # -- semantics ----------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[Condition, bool]) -> bool:
+        """Evaluate under an assignment covering all mentioned conditions."""
+        return any(term.evaluate(assignment) for term in self._terms)
+
+    def satisfied_by_partial(self, assignment: Mapping[Condition, bool]) -> bool:
+        """True when some term is fully assigned and satisfied."""
+        return any(term.satisfied_by_partial(assignment) for term in self._terms)
+
+    def is_satisfiable(self) -> bool:
+        return bool(self._terms)
+
+    def _assignments(self, conditions: Iterable[Condition]) -> Iterator[Dict[Condition, bool]]:
+        variables = sorted(set(conditions))
+        for values in itertools.product((False, True), repeat=len(variables)):
+            yield dict(zip(variables, values))
+
+    def implies(self, other: "BoolExpr") -> bool:
+        """Exact implication check by exhaustive evaluation."""
+        variables = self.conditions | other.conditions
+        for assignment in self._assignments(variables):
+            if self.evaluate(assignment) and not other.evaluate(assignment):
+                return False
+        return True
+
+    def is_equivalent_to(self, other: "BoolExpr") -> bool:
+        return self.implies(other) and other.implies(self)
+
+    def is_mutually_exclusive_with(self, other: "BoolExpr") -> bool:
+        variables = self.conditions | other.conditions
+        for assignment in self._assignments(variables):
+            if self.evaluate(assignment) and other.evaluate(assignment):
+                return False
+        return True
+
+    def covers_conjunction(self, conjunction: Conjunction) -> bool:
+        """True when the conjunction implies this expression."""
+        return BoolExpr.from_conjunction(conjunction).implies(self)
+
+    def simplified(self, max_conditions: int = 16) -> "BoolExpr":
+        """Return a semantically equal expression over only the relevant conditions.
+
+        Expressions produced by guard derivation accumulate redundant terms at
+        every reconvergence point (``C | !C`` and friends); left alone, the
+        conjunction/disjunction products grow multiplicatively along the graph
+        and make every later guard query expensive.  This method rebuilds the
+        expression from its truth table: conditions whose value never changes
+        the outcome are dropped and the result is the sum of the remaining
+        minterms (``true``/``false`` when constant).  Expressions over more
+        than ``max_conditions`` variables are returned unchanged to keep the
+        truth-table enumeration bounded.
+        """
+        variables = sorted(self.conditions)
+        if not variables or len(variables) > max_conditions:
+            return self
+        assignments = list(self._assignments(variables))
+        outcomes = {
+            tuple(assignment[var] for var in variables): self.evaluate(assignment)
+            for assignment in assignments
+        }
+        if not any(outcomes.values()):
+            return BoolExpr.false()
+        if all(outcomes.values()):
+            return BoolExpr.true()
+
+        relevant = []
+        for index, variable in enumerate(variables):
+            for bits, outcome in outcomes.items():
+                flipped = bits[:index] + (not bits[index],) + bits[index + 1 :]
+                if outcomes[flipped] != outcome:
+                    relevant.append((index, variable))
+                    break
+        terms = set()
+        for bits, outcome in outcomes.items():
+            if not outcome:
+                continue
+            terms.add(
+                Conjunction(
+                    Literal(variable, bits[index]) for index, variable in relevant
+                )
+            )
+        return BoolExpr(terms)
+
+    def satisfying_assignments(
+        self, conditions: Iterable[Condition]
+    ) -> Iterator[Dict[Condition, bool]]:
+        """Yield every assignment of ``conditions`` that satisfies the expression."""
+        for assignment in self._assignments(set(conditions) | set(self.conditions)):
+            if self.evaluate(assignment):
+                yield assignment
+
+
+def _minimise(terms: Iterable[Conjunction]) -> FrozenSet[Conjunction]:
+    """Drop duplicate and absorbed terms (``A`` absorbs ``A & B``)."""
+    unique = set(terms)
+    kept = set()
+    for term in unique:
+        absorbed = any(
+            other is not term and term.implies(other) and other != term
+            for other in unique
+        )
+        if not absorbed:
+            kept.add(term)
+    if any(term.is_true() for term in kept):
+        return frozenset((Conjunction.true(),))
+    return frozenset(kept)
+
+
+_TRUE_EXPR = BoolExpr((Conjunction.true(),))
+_FALSE_EXPR = BoolExpr(())

@@ -1,0 +1,29 @@
+"""Reference systems shipped with the library (the paper's worked example)."""
+
+from .fig1 import (
+    COMMUNICATION_TIMES,
+    CONDITION_BROADCAST_TIME,
+    EXECUTION_TIMES,
+    PAPER_PATH_DELAYS,
+    PAPER_WORST_CASE_DELAY,
+    PROCESS_MAPPING,
+    Fig1Example,
+    build_architecture,
+    build_mapping,
+    build_process_graph,
+    load_fig1_example,
+)
+
+__all__ = [
+    "COMMUNICATION_TIMES",
+    "CONDITION_BROADCAST_TIME",
+    "EXECUTION_TIMES",
+    "Fig1Example",
+    "PAPER_PATH_DELAYS",
+    "PAPER_WORST_CASE_DELAY",
+    "PROCESS_MAPPING",
+    "build_architecture",
+    "build_mapping",
+    "build_process_graph",
+    "load_fig1_example",
+]

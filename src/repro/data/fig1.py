@@ -1,0 +1,163 @@
+"""The example conditional process graph of Fig. 1 of the paper.
+
+The figure itself is only available as a drawing; its node set, execution
+times, communication times, mapping, guards (``X_P3 = true``,
+``X_P5 = C``, ``X_P14 = D and K``, ``X_P17 = true``) and the identity of the
+fourteen inter-processor communications are given in the text and are
+reproduced exactly here.  The precise set of intra-processor edges is not
+listed in the paper, so the topology below is a faithful reconstruction that
+matches every published fact:
+
+* P2 is the disjunction process of condition ``C`` (it finishes at t = 7 in
+  Table 1, when ``C`` is broadcast), with the ``C`` branch towards P5 and the
+  ``not C`` branch towards P4;
+* P11 is the disjunction process of condition ``D`` (broadcast at t = 6), with
+  branches towards P12 (``D``) and P13 (``not D``);
+* P12 is the disjunction process of condition ``K`` (broadcast at t = 15),
+  with branches towards P14 (``K``) and P15 (``not K``), so ``K`` is only
+  determined when ``D`` is true — giving the six alternative paths of Fig. 2;
+* P7 and P17 are conjunction processes re-joining the alternative branches;
+* P10 and P17 are the two predecessors of the sink, matching the worst-case
+  delay computation ``delta_max = max(t(P10) + 5, t(P17) + 2)`` of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..architecture import Architecture, Mapping, bus, hardware, programmable
+from ..conditions import Condition
+from ..graph import CPGBuilder, ConditionalProcessGraph, ExpandedGraph, expand_communications
+
+#: Execution times of the ordinary processes P1..P17 (paper, Fig. 1).
+EXECUTION_TIMES: Dict[str, float] = {
+    "P1": 3, "P2": 4, "P3": 12, "P4": 5, "P5": 3, "P6": 5, "P7": 3, "P8": 4,
+    "P9": 5, "P10": 5, "P11": 6, "P12": 6, "P13": 8, "P14": 2, "P15": 6,
+    "P16": 4, "P17": 2,
+}
+
+#: Communication times of the fourteen inter-processor connections (paper, Fig. 1).
+COMMUNICATION_TIMES: Dict[Tuple[str, str], float] = {
+    ("P1", "P3"): 1, ("P2", "P5"): 3, ("P3", "P6"): 2, ("P3", "P10"): 2,
+    ("P4", "P7"): 3, ("P6", "P8"): 3, ("P7", "P10"): 2, ("P8", "P10"): 2,
+    ("P11", "P12"): 1, ("P11", "P13"): 2, ("P12", "P14"): 1, ("P12", "P15"): 3,
+    ("P13", "P17"): 2, ("P16", "P17"): 2,
+}
+
+#: Mapping of the ordinary processes to the processing elements (paper, Fig. 1).
+PROCESS_MAPPING: Dict[str, str] = {
+    "P1": "pe1", "P2": "pe1", "P4": "pe1", "P6": "pe1", "P9": "pe1",
+    "P10": "pe1", "P13": "pe1",
+    "P3": "pe2", "P5": "pe2", "P7": "pe2", "P11": "pe2", "P14": "pe2",
+    "P15": "pe2", "P17": "pe2",
+    "P8": "pe3", "P12": "pe3", "P16": "pe3",
+}
+
+#: The condition communication time tau0 used for Table 1 (paper, Section 3).
+CONDITION_BROADCAST_TIME: float = 1.0
+
+#: Per-path optimal schedule lengths reported in Fig. 2 of the paper, keyed by
+#: the canonical (alphabetically ordered) label strings used by this library.
+PAPER_PATH_DELAYS: Dict[str, float] = {
+    "C & D & K": 39,     # the paper writes this path D ∧ C ∧ K
+    "C & !D": 39,        # D̄ ∧ C
+    "C & D & !K": 38,    # D ∧ C ∧ K̄
+    "!C & D & K": 32,    # D ∧ C̄ ∧ K
+    "!C & D & !K": 31,   # D ∧ C̄ ∧ K̄
+    "!C & !D": 31,       # D̄ ∧ C̄
+}
+
+#: The worst-case delay of the schedule table of Table 1.
+PAPER_WORST_CASE_DELAY: float = 39.0
+
+C = Condition("C")
+D = Condition("D")
+K = Condition("K")
+
+
+@dataclass(frozen=True)
+class Fig1Example:
+    """The fully prepared Fig. 1 system: graph, architecture and mapping."""
+
+    process_graph: ConditionalProcessGraph
+    architecture: Architecture
+    mapping: Mapping
+    expanded: ExpandedGraph
+
+    @property
+    def graph(self) -> ConditionalProcessGraph:
+        """The expanded graph (communication processes included)."""
+        return self.expanded.graph
+
+    @property
+    def expanded_mapping(self) -> Mapping:
+        """The mapping extended with the communication processes."""
+        return self.expanded.mapping
+
+
+def build_architecture() -> Architecture:
+    """Two programmable processors, one ASIC and a single shared bus."""
+    return Architecture(
+        processors=[programmable("pe1"), programmable("pe2"), hardware("pe3")],
+        buses=[bus("pe4")],
+        condition_broadcast_time=CONDITION_BROADCAST_TIME,
+    )
+
+
+def build_process_graph() -> ConditionalProcessGraph:
+    """The process-level graph (before communication expansion)."""
+    builder = CPGBuilder("fig1", source_name="P0", sink_name="P32")
+    for name, time in EXECUTION_TIMES.items():
+        builder.process(name, time)
+
+    def comm(src: str, dst: str) -> float:
+        return COMMUNICATION_TIMES.get((src, dst), 0.0)
+
+    # Data flow reconstructed from the published communication list.
+    builder.edge("P1", "P3", communication_time=comm("P1", "P3"))
+    builder.edge("P3", "P6", communication_time=comm("P3", "P6"))
+    builder.edge("P3", "P10", communication_time=comm("P3", "P10"))
+    builder.edge("P6", "P8", communication_time=comm("P6", "P8"))
+    builder.edge("P6", "P9")
+    builder.edge("P8", "P10", communication_time=comm("P8", "P10"))
+    builder.edge("P9", "P10")
+    builder.edge("P4", "P7", communication_time=comm("P4", "P7"))
+    builder.edge("P5", "P7")
+    builder.edge("P7", "P10", communication_time=comm("P7", "P10"))
+    # Disjunction process P2 computes condition C.
+    builder.edge("P2", "P5", condition=C.true(), communication_time=comm("P2", "P5"))
+    builder.edge("P2", "P4", condition=C.false())
+    # Disjunction process P11 computes condition D.
+    builder.edge("P11", "P12", condition=D.true(), communication_time=comm("P11", "P12"))
+    builder.edge("P11", "P13", condition=D.false(), communication_time=comm("P11", "P13"))
+    # Disjunction process P12 computes condition K (only when D holds).
+    builder.edge("P12", "P14", condition=K.true(), communication_time=comm("P12", "P14"))
+    builder.edge("P12", "P15", condition=K.false(), communication_time=comm("P12", "P15"))
+    # The alternative branches re-join in the conjunction process P17.
+    builder.edge("P13", "P17", communication_time=comm("P13", "P17"))
+    builder.edge("P14", "P17")
+    builder.edge("P15", "P17")
+    builder.edge("P16", "P17", communication_time=comm("P16", "P17"))
+    return builder.build()
+
+
+def build_mapping(
+    architecture: Architecture, graph: ConditionalProcessGraph
+) -> Mapping:
+    """Map the ordinary processes onto pe1/pe2/pe3 as published in Fig. 1."""
+    mapping = Mapping(architecture)
+    for process_name, pe_name in PROCESS_MAPPING.items():
+        mapping.assign(process_name, architecture[pe_name])
+    mapping.validate_for(name for name in PROCESS_MAPPING)
+    return mapping
+
+
+def load_fig1_example() -> Fig1Example:
+    """Build the complete Fig. 1 system ready for scheduling."""
+    architecture = build_architecture()
+    process_graph = build_process_graph()
+    mapping = build_mapping(architecture, process_graph)
+    expanded = expand_communications(process_graph, mapping, architecture)
+    expanded.graph.validate()
+    return Fig1Example(process_graph, architecture, mapping, expanded)

@@ -1,0 +1,31 @@
+"""Random workload generation (the substrate of the paper's Fig. 5/6 experiments)."""
+
+from .random_cpg import (
+    GeneratedSystem,
+    GeneratorConfig,
+    RandomSystemGenerator,
+    generate_system,
+    paper_experiment_configs,
+)
+from .structure import (
+    StructurePlan,
+    branch,
+    distribute_sizes,
+    plan_for_paths,
+    segment,
+    series,
+)
+
+__all__ = [
+    "GeneratedSystem",
+    "GeneratorConfig",
+    "RandomSystemGenerator",
+    "StructurePlan",
+    "branch",
+    "distribute_sizes",
+    "generate_system",
+    "paper_experiment_configs",
+    "plan_for_paths",
+    "segment",
+    "series",
+]

@@ -1,0 +1,49 @@
+"""The conditional process graph (CPG) model.
+
+This package implements the abstract system representation of the paper: a
+directed, acyclic, polar graph whose nodes are processes and whose edges are
+simple (dataflow) or conditional (dataflow guarded by a condition value).  It
+also provides communication-process expansion for a given mapping and the
+enumeration of the alternative paths the scheduler works on.
+"""
+
+from .builder import CPGBuilder, build_chain_graph
+from .communication import (
+    CommunicationInfo,
+    ExpandedGraph,
+    expand_communications,
+    is_expanded,
+)
+from .cpg import ConditionalProcessGraph, GraphStructureError
+from .edges import Edge
+from .paths import AlternativePath, PathEnumerator, count_paths, enumerate_paths
+from .process import (
+    Process,
+    ProcessKind,
+    communication_process,
+    ordinary_process,
+    sink_process,
+    source_process,
+)
+
+__all__ = [
+    "AlternativePath",
+    "CPGBuilder",
+    "CommunicationInfo",
+    "ConditionalProcessGraph",
+    "Edge",
+    "ExpandedGraph",
+    "GraphStructureError",
+    "PathEnumerator",
+    "Process",
+    "ProcessKind",
+    "build_chain_graph",
+    "communication_process",
+    "count_paths",
+    "enumerate_paths",
+    "expand_communications",
+    "is_expanded",
+    "ordinary_process",
+    "sink_process",
+    "source_process",
+]

@@ -1,0 +1,166 @@
+"""Expansion of inter-processor communications into communication processes.
+
+In the paper's model every connection between processes mapped to different
+processors is represented by a *communication process* mapped to a bus (the
+black dots of Fig. 1).  Designers usually specify the graph at the process
+level only; :func:`expand_communications` inserts the communication processes
+given a mapping, producing the graph the scheduler actually works on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..architecture import Architecture, Mapping, MappingError
+from ..architecture.processing_element import ProcessingElement
+from .cpg import ConditionalProcessGraph, GraphStructureError
+from .edges import Edge
+from .process import communication_process
+
+
+@dataclass(frozen=True)
+class CommunicationInfo:
+    """Book-keeping for one inserted communication process."""
+
+    name: str
+    src: str
+    dst: str
+    bus: ProcessingElement
+    communication_time: float
+
+
+@dataclass(frozen=True)
+class ExpandedGraph:
+    """Result of communication expansion.
+
+    Attributes
+    ----------
+    graph:
+        The new conditional process graph including communication processes.
+    mapping:
+        A copy of the input mapping extended with the bus assignment of every
+        inserted communication process.
+    communications:
+        Information about every inserted communication process, keyed by name.
+    """
+
+    graph: ConditionalProcessGraph
+    mapping: Mapping
+    communications: Dict[str, CommunicationInfo]
+
+    def communication_between(self, src: str, dst: str) -> Optional[CommunicationInfo]:
+        """Return the communication process inserted between two processes, if any."""
+        for info in self.communications.values():
+            if info.src == src and info.dst == dst:
+                return info
+        return None
+
+
+def _select_bus(
+    architecture: Architecture,
+    src_pe: ProcessingElement,
+    dst_pe: ProcessingElement,
+    preferred: Optional[ProcessingElement],
+) -> ProcessingElement:
+    if preferred is not None:
+        return preferred
+    candidates = architecture.buses_between(src_pe, dst_pe)
+    if not candidates:
+        raise MappingError(
+            f"no bus connects {src_pe.name} and {dst_pe.name}; cannot map the "
+            "communication between processes on these processors"
+        )
+    return candidates[0]
+
+
+def expand_communications(
+    graph: ConditionalProcessGraph,
+    mapping: Mapping,
+    architecture: Optional[Architecture] = None,
+    name_format: str = "{src}_to_{dst}",
+    bus_assignment: Optional[Dict[Tuple[str, str], ProcessingElement]] = None,
+) -> ExpandedGraph:
+    """Insert a communication process on every inter-processor edge.
+
+    Parameters
+    ----------
+    graph:
+        The process-level conditional process graph (no communication
+        processes yet; edges carry their ``communication_time``).
+    mapping:
+        Mapping of every ordinary process to a processor.
+    architecture:
+        Defaults to ``mapping.architecture``.
+    name_format:
+        Format string for communication process names, receiving ``src`` and
+        ``dst`` keyword arguments.
+    bus_assignment:
+        Optional explicit choice of bus per (src, dst) pair; by default the
+        first bus connecting the two processors is used.
+
+    Returns
+    -------
+    ExpandedGraph
+        The expanded graph, the extended mapping and per-communication info.
+    """
+    architecture = architecture or mapping.architecture
+    expanded = ConditionalProcessGraph(f"{graph.name}-expanded")
+    new_mapping = mapping.copy()
+    communications: Dict[str, CommunicationInfo] = {}
+
+    for process in graph.processes:
+        expanded.add_process(process)
+        if process.is_ordinary and process.name not in mapping:
+            raise MappingError(f"ordinary process {process.name!r} is not mapped")
+
+    for edge in graph.edges:
+        src_process = graph[edge.src]
+        dst_process = graph[edge.dst]
+        if src_process.is_dummy or dst_process.is_dummy:
+            expanded.add_edge(edge)
+            continue
+        src_pe = mapping[edge.src]
+        dst_pe = mapping[edge.dst]
+        if src_pe == dst_pe:
+            expanded.add_edge(edge)
+            continue
+        comm_name = name_format.format(src=edge.src, dst=edge.dst)
+        if comm_name in expanded:
+            raise GraphStructureError(
+                f"communication process name collision: {comm_name!r}"
+            )
+        comm = communication_process(comm_name, edge.communication_time)
+        expanded.add_process(comm)
+        # The condition of the original edge guards the transfer itself, so it
+        # is carried by the edge *into* the communication process; the edge
+        # from the communication process to the consumer is simple.
+        expanded.add_edge(Edge(edge.src, comm_name, edge.condition))
+        expanded.add_edge(Edge(comm_name, edge.dst))
+        preferred = bus_assignment.get((edge.src, edge.dst)) if bus_assignment else None
+        chosen_bus = _select_bus(architecture, src_pe, dst_pe, preferred)
+        new_mapping.assign(comm_name, chosen_bus)
+        communications[comm_name] = CommunicationInfo(
+            name=comm_name,
+            src=edge.src,
+            dst=edge.dst,
+            bus=chosen_bus,
+            communication_time=edge.communication_time,
+        )
+
+    return ExpandedGraph(expanded, new_mapping, communications)
+
+
+def is_expanded(graph: ConditionalProcessGraph, mapping: Mapping) -> bool:
+    """True when no edge of the graph crosses processors without a communication process."""
+    for edge in graph.edges:
+        src_process = graph[edge.src]
+        dst_process = graph[edge.dst]
+        if src_process.is_dummy or dst_process.is_dummy:
+            continue
+        if src_process.is_communication or dst_process.is_communication:
+            continue
+        if edge.src in mapping and edge.dst in mapping:
+            if mapping[edge.src] != mapping[edge.dst]:
+                return False
+    return True

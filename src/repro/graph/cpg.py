@@ -1,0 +1,409 @@
+"""The conditional process graph (CPG) container.
+
+A :class:`ConditionalProcessGraph` is the abstract system representation of
+the paper: a directed, acyclic, polar graph whose nodes are processes and
+whose edges are either simple (dataflow) or conditional (dataflow guarded by a
+condition literal).  The class wraps a :class:`networkx.DiGraph` and exposes a
+domain-level API: guards, disjunction/conjunction processes, alternative-path
+queries and structural validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..conditions import BoolExpr, Condition, Conjunction, Literal
+from .edges import Edge
+from .process import Process, ProcessKind
+
+
+class GraphStructureError(ValueError):
+    """Raised when a conditional process graph violates the model's structural rules."""
+
+
+class ConditionalProcessGraph:
+    """A directed, acyclic, polar graph of processes with conditional edges."""
+
+    def __init__(self, name: str = "cpg") -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._processes: Dict[str, Process] = {}
+        self._edges: Dict[Tuple[str, str], Edge] = {}
+        self._guard_cache: Optional[Dict[str, BoolExpr]] = None
+
+    # -- construction ---------------------------------------------------------
+
+    def add_process(self, process: Process) -> Process:
+        """Add a process node; returns the process for chaining."""
+        if process.name in self._processes:
+            raise GraphStructureError(f"duplicate process name {process.name!r}")
+        if process.is_source and self._find_kind(ProcessKind.SOURCE) is not None:
+            raise GraphStructureError("the graph already has a source process")
+        if process.is_sink and self._find_kind(ProcessKind.SINK) is not None:
+            raise GraphStructureError("the graph already has a sink process")
+        self._processes[process.name] = process
+        self._graph.add_node(process.name)
+        self._invalidate_caches()
+        return process
+
+    def add_edge(self, edge: Edge) -> Edge:
+        """Add a (simple or conditional) edge; endpoints must already exist."""
+        for endpoint in (edge.src, edge.dst):
+            if endpoint not in self._processes:
+                raise GraphStructureError(f"unknown process {endpoint!r} in edge {edge}")
+        if (edge.src, edge.dst) in self._edges:
+            raise GraphStructureError(f"duplicate edge {edge.src}->{edge.dst}")
+        self._edges[(edge.src, edge.dst)] = edge
+        self._graph.add_edge(edge.src, edge.dst)
+        self._invalidate_caches()
+        return edge
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        condition: Optional[Literal] = None,
+        communication_time: float = 0.0,
+    ) -> Edge:
+        """Convenience wrapper to add an edge by process names."""
+        return self.add_edge(Edge(src, dst, condition, communication_time))
+
+    def _invalidate_caches(self) -> None:
+        self._guard_cache = None
+
+    def _find_kind(self, kind: ProcessKind) -> Optional[Process]:
+        for process in self._processes.values():
+            if process.kind is kind:
+                return process
+        return None
+
+    # -- node / edge access -----------------------------------------------------
+
+    @property
+    def processes(self) -> Tuple[Process, ...]:
+        return tuple(self._processes.values())
+
+    @property
+    def process_names(self) -> Tuple[str, ...]:
+        return tuple(self._processes)
+
+    @property
+    def ordinary_processes(self) -> Tuple[Process, ...]:
+        return tuple(p for p in self._processes.values() if p.is_ordinary)
+
+    @property
+    def communication_processes(self) -> Tuple[Process, ...]:
+        return tuple(p for p in self._processes.values() if p.is_communication)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(self._edges.values())
+
+    @property
+    def simple_edges(self) -> Tuple[Edge, ...]:
+        return tuple(e for e in self._edges.values() if e.is_simple)
+
+    @property
+    def conditional_edges(self) -> Tuple[Edge, ...]:
+        return tuple(e for e in self._edges.values() if e.is_conditional)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._processes
+
+    def __getitem__(self, name: str) -> Process:
+        return self._processes[name]
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    def __iter__(self) -> Iterator[Process]:
+        return iter(self._processes.values())
+
+    def get_edge(self, src: str, dst: str) -> Edge:
+        return self._edges[(src, dst)]
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._edges
+
+    @property
+    def source(self) -> Process:
+        process = self._find_kind(ProcessKind.SOURCE)
+        if process is None:
+            raise GraphStructureError("the graph has no source process")
+        return process
+
+    @property
+    def sink(self) -> Process:
+        process = self._find_kind(ProcessKind.SINK)
+        if process is None:
+            raise GraphStructureError("the graph has no sink process")
+        return process
+
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        return tuple(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        return tuple(self._graph.successors(name))
+
+    def in_edges(self, name: str) -> Tuple[Edge, ...]:
+        return tuple(self._edges[(src, name)] for src in self._graph.predecessors(name))
+
+    def out_edges(self, name: str) -> Tuple[Edge, ...]:
+        return tuple(self._edges[(name, dst)] for dst in self._graph.successors(name))
+
+    def topological_order(self) -> List[str]:
+        """Return process names in a deterministic topological order."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Return a copy of the underlying networkx graph with attached attributes."""
+        graph = nx.DiGraph(name=self.name)
+        for process in self._processes.values():
+            graph.add_node(process.name, process=process)
+        for edge in self._edges.values():
+            graph.add_edge(edge.src, edge.dst, edge=edge)
+        return graph
+
+    # -- conditions, disjunction and conjunction processes -----------------------
+
+    @property
+    def conditions(self) -> Tuple[Condition, ...]:
+        """All condition variables appearing on conditional edges, sorted by name."""
+        found = {edge.condition.condition for edge in self.conditional_edges}
+        return tuple(sorted(found))
+
+    def disjunction_processes(self) -> Dict[str, Condition]:
+        """Map each disjunction process name to the condition it computes.
+
+        A disjunction process is a node with at least one conditional output
+        edge.  The model requires all conditional outputs of one node to refer
+        to the same condition (one disjunction process computes one condition)
+        and each condition to be computed by exactly one process.
+        """
+        result: Dict[str, Condition] = {}
+        for name in self._processes:
+            conditions = {
+                edge.condition.condition
+                for edge in self.out_edges(name)
+                if edge.is_conditional
+            }
+            if not conditions:
+                continue
+            if len(conditions) > 1:
+                raise GraphStructureError(
+                    f"disjunction process {name!r} drives several conditions: "
+                    f"{sorted(str(c) for c in conditions)}"
+                )
+            result[name] = next(iter(conditions))
+        producers: Dict[Condition, str] = {}
+        for name, condition in result.items():
+            if condition in producers:
+                raise GraphStructureError(
+                    f"condition {condition} is computed by both "
+                    f"{producers[condition]!r} and {name!r}"
+                )
+            producers[condition] = name
+        return result
+
+    def disjunction_process_of(self, condition: Condition) -> str:
+        """Return the name of the process computing the given condition."""
+        for name, computed in self.disjunction_processes().items():
+            if computed == condition:
+                return name
+        raise KeyError(f"no disjunction process computes condition {condition}")
+
+    def conjunction_processes(self) -> Tuple[str, ...]:
+        """Names of conjunction processes (meeting points of alternative paths).
+
+        A node is a conjunction process when it is explicitly flagged or when
+        at least two of its incoming edge guards are mutually exclusive.
+        """
+        guards = self._incoming_edge_guards()
+        result = []
+        for name, process in self._processes.items():
+            if process.is_conjunction:
+                result.append(name)
+                continue
+            edge_guards = guards.get(name, [])
+            if len(edge_guards) < 2:
+                continue
+            exclusive = any(
+                edge_guards[i].is_mutually_exclusive_with(edge_guards[j])
+                for i in range(len(edge_guards))
+                for j in range(i + 1, len(edge_guards))
+            )
+            if exclusive:
+                result.append(name)
+        return tuple(result)
+
+    def is_conjunction_process(self, name: str) -> bool:
+        return name in set(self.conjunction_processes())
+
+    # -- guards --------------------------------------------------------------
+
+    def guards(self) -> Dict[str, BoolExpr]:
+        """Return the guard ``X_Pi`` of every process.
+
+        The guard of the source is ``true``.  For every other node the guard
+        of each incoming edge is ``guard(src) AND edge condition``; a
+        conjunction node takes the OR of its incoming edge guards, any other
+        node the AND.
+        """
+        if self._guard_cache is not None:
+            return dict(self._guard_cache)
+        guards: Dict[str, BoolExpr] = {}
+        explicit_conjunctions = {
+            name for name, proc in self._processes.items() if proc.is_conjunction
+        }
+        for name in self.topological_order():
+            in_edges = self.in_edges(name)
+            if not in_edges:
+                guards[name] = BoolExpr.true()
+                continue
+            edge_guards = []
+            for edge in in_edges:
+                guard = guards[edge.src]
+                if edge.is_conditional:
+                    guard = guard.and_(BoolExpr.from_literal(edge.condition))
+                edge_guards.append(guard)
+            is_conjunction = name in explicit_conjunctions or any(
+                edge_guards[i].is_mutually_exclusive_with(edge_guards[j])
+                for i in range(len(edge_guards))
+                for j in range(i + 1, len(edge_guards))
+            )
+            if is_conjunction:
+                combined = BoolExpr.false()
+                for guard in edge_guards:
+                    combined = combined.or_(guard)
+            else:
+                combined = BoolExpr.true()
+                for guard in edge_guards:
+                    combined = combined.and_(guard)
+            # Keep guards in their minimal form: reconvergence points would
+            # otherwise accumulate tautological terms (C | !C) and every later
+            # guard combination and query would grow multiplicatively.
+            guards[name] = combined.simplified()
+        self._guard_cache = dict(guards)
+        return guards
+
+    def guard_of(self, name: str) -> BoolExpr:
+        """Return the guard of a single process."""
+        return self.guards()[name]
+
+    def _incoming_edge_guards(self) -> Dict[str, List[BoolExpr]]:
+        guards = self.guards()
+        result: Dict[str, List[BoolExpr]] = {}
+        for name in self._processes:
+            edge_guards = []
+            for edge in self.in_edges(name):
+                guard = guards[edge.src]
+                if edge.is_conditional:
+                    guard = guard.and_(BoolExpr.from_literal(edge.condition))
+                edge_guards.append(guard)
+            result[name] = edge_guards
+        return result
+
+    # -- activation semantics -----------------------------------------------------
+
+    def active_processes(self, assignment: Mapping[Condition, bool]) -> Tuple[str, ...]:
+        """Names of processes activated under the given (complete) assignment."""
+        guards = self.guards()
+        return tuple(
+            name
+            for name in self.topological_order()
+            if guards[name].satisfied_by_partial(assignment)
+            or guards[name].is_true()
+        )
+
+    def active_predecessors(
+        self, name: str, assignment: Mapping[Condition, bool]
+    ) -> Tuple[str, ...]:
+        """Predecessors that actually deliver an input under the assignment.
+
+        A process waits for every predecessor whose own guard holds and whose
+        connecting edge (if conditional) has a satisfied condition.  For
+        conjunction processes this selects exactly the predecessors on the
+        active alternative path.
+        """
+        guards = self.guards()
+        active = []
+        for edge in self.in_edges(name):
+            if edge.is_conditional and not edge.condition.evaluate(dict(assignment)):
+                continue
+            src_guard = guards[edge.src]
+            if src_guard.is_true() or src_guard.satisfied_by_partial(assignment):
+                active.append(edge.src)
+        return tuple(active)
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural rules of the conditional process graph model."""
+        if self._find_kind(ProcessKind.SOURCE) is None:
+            raise GraphStructureError("missing source process")
+        if self._find_kind(ProcessKind.SINK) is None:
+            raise GraphStructureError("missing sink process")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise GraphStructureError("the process graph must be acyclic")
+        source = self.source.name
+        sink = self.sink.name
+        for name in self._processes:
+            if name != source and not self.predecessors(name):
+                raise GraphStructureError(
+                    f"process {name!r} has no predecessor; the graph must be polar "
+                    "(every process a successor of the source)"
+                )
+            if name != sink and not self.successors(name):
+                raise GraphStructureError(
+                    f"process {name!r} has no successor; the graph must be polar "
+                    "(every process a predecessor of the sink)"
+                )
+        if self.predecessors(source):
+            raise GraphStructureError("the source process must have no predecessors")
+        if self.successors(sink):
+            raise GraphStructureError("the sink process must have no successors")
+        # One condition per disjunction process, one producer per condition.
+        self.disjunction_processes()
+        # Guard implication rule: an edge into a non-conjunction node Pj requires
+        # X_Pj => X_Pi so that Pj never waits for a message that cannot arrive.
+        guards = self.guards()
+        conjunctions = set(self.conjunction_processes())
+        for edge in self._edges.values():
+            if edge.dst in conjunctions:
+                continue
+            src_guard = guards[edge.src]
+            dst_guard = guards[edge.dst]
+            if not dst_guard.implies(src_guard):
+                raise GraphStructureError(
+                    f"edge {edge} violates the guard rule: guard({edge.dst}) = "
+                    f"{dst_guard} does not imply guard({edge.src}) = {src_guard}"
+                )
+
+    def copy(self, name: Optional[str] = None) -> "ConditionalProcessGraph":
+        """Return a deep-enough copy (processes and edges are immutable)."""
+        clone = ConditionalProcessGraph(name or self.name)
+        for process in self._processes.values():
+            clone.add_process(process)
+        for edge in self._edges.values():
+            clone.add_edge(edge)
+        return clone
+
+    def subgraph(self, names: Iterable[str], name: str = "") -> "ConditionalProcessGraph":
+        """Return the induced subgraph over the given process names."""
+        keep = set(names)
+        clone = ConditionalProcessGraph(name or f"{self.name}-sub")
+        for process in self._processes.values():
+            if process.name in keep:
+                clone.add_process(process)
+        for edge in self._edges.values():
+            if edge.src in keep and edge.dst in keep:
+                clone.add_edge(edge)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"ConditionalProcessGraph(name={self.name!r}, processes={len(self)}, "
+            f"edges={len(self._edges)}, conditions={len(self.conditions)})"
+        )

@@ -1,0 +1,60 @@
+"""Edges of a conditional process graph.
+
+The paper distinguishes *simple* edges (plain dataflow, set ``ES``) from
+*conditional* edges (set ``EC``) which carry a condition literal: the message
+is transmitted only when the associated condition value holds.  A node with
+conditional output edges is a *disjunction* node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..conditions import Literal
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge between two processes.
+
+    Parameters
+    ----------
+    src, dst:
+        Names of the source and destination processes.
+    condition:
+        ``None`` for a simple edge; a :class:`~repro.conditions.Literal` for a
+        conditional edge (the transfer happens only when the literal holds).
+    communication_time:
+        Time needed to transfer the data when the two endpoint processes are
+        mapped to different processors.  Ignored (no communication process is
+        inserted) when both endpoints share a processor.
+    """
+
+    src: str
+    dst: str
+    condition: Optional[Literal] = None
+    communication_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"self-loop edge on {self.src!r} is not allowed")
+        if self.communication_time < 0:
+            raise ValueError(
+                f"negative communication time on edge {self.src}->{self.dst}"
+            )
+
+    @property
+    def is_conditional(self) -> bool:
+        """True when this edge belongs to the set ``EC`` of conditional edges."""
+        return self.condition is not None
+
+    @property
+    def is_simple(self) -> bool:
+        """True when this edge belongs to the set ``ES`` of simple edges."""
+        return self.condition is None
+
+    def __str__(self) -> str:
+        if self.condition is None:
+            return f"{self.src} -> {self.dst}"
+        return f"{self.src} -[{self.condition}]-> {self.dst}"

@@ -1,0 +1,152 @@
+"""Enumeration of the alternative paths (tracks) through a conditional process graph.
+
+For a given execution only a subset of the processes is activated; which
+subset depends on the condition values computed at run time.  Every complete
+resolution of the *relevant* conditions (those whose disjunction process is
+itself activated) selects one alternative path.  Each alternative path ``k``
+has a label ``L_k`` (the conjunction of the resolved condition values) and an
+associated subgraph ``G_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Mapping, Optional, Tuple
+
+from ..conditions import Assignment, Condition, Conjunction
+from .cpg import ConditionalProcessGraph
+
+
+@dataclass(frozen=True)
+class AlternativePath:
+    """One alternative path through a conditional process graph.
+
+    Attributes
+    ----------
+    label:
+        The conjunction of condition values selecting this path (``L_k``).
+    assignment:
+        The same information as a condition -> bool mapping.
+    active_processes:
+        Names of the processes activated on this path, in topological order.
+    subgraph:
+        The induced conditional process graph ``G_k`` (built lazily by
+        :meth:`PathEnumerator.subgraph_of`; stored here when requested).
+    """
+
+    label: Conjunction
+    assignment: Mapping[Condition, bool] = field(compare=False)
+    active_processes: Tuple[str, ...] = ()
+    index: int = field(default=0, compare=False)
+
+    def __str__(self) -> str:
+        return f"path[{self.label}]"
+
+    def is_consistent_with(self, partial: Mapping[Condition, bool]) -> bool:
+        """True when this path remains reachable given the partially known conditions."""
+        return self.label.consistent_with_partial(partial)
+
+    def includes(self, process_name: str) -> bool:
+        return process_name in self.active_processes
+
+
+class PathEnumerator:
+    """Enumerates the alternative paths of a conditional process graph."""
+
+    def __init__(self, graph: ConditionalProcessGraph) -> None:
+        self._graph = graph
+        self._guards = graph.guards()
+        self._disjunctions = graph.disjunction_processes()
+        self._paths: Optional[List[AlternativePath]] = None
+
+    @property
+    def graph(self) -> ConditionalProcessGraph:
+        return self._graph
+
+    def paths(self) -> List[AlternativePath]:
+        """Return all alternative paths (computed once, then cached)."""
+        if self._paths is None:
+            self._paths = list(self._enumerate())
+        return list(self._paths)
+
+    def count(self) -> int:
+        """The number ``N_alt`` of alternative paths."""
+        return len(self.paths())
+
+    def path_for(self, assignment: Mapping[Condition, bool]) -> AlternativePath:
+        """Return the alternative path selected by a complete condition assignment."""
+        for path in self.paths():
+            if path.label.consistent_with_partial(assignment) and all(
+                condition in assignment for condition in path.label.conditions
+            ):
+                return path
+        raise KeyError(f"no alternative path matches assignment {assignment}")
+
+    def reachable_paths(
+        self, partial: Mapping[Condition, bool]
+    ) -> List[AlternativePath]:
+        """Paths still reachable when only some conditions are known."""
+        return [path for path in self.paths() if path.is_consistent_with(partial)]
+
+    def subgraph_of(self, path: AlternativePath) -> ConditionalProcessGraph:
+        """Build the induced subgraph ``G_k`` of an alternative path."""
+        sub = self._graph.subgraph(path.active_processes, name=f"{self._graph.name}[{path.label}]")
+        return sub
+
+    # -- enumeration ---------------------------------------------------------
+
+    def _relevant_unassigned_conditions(
+        self, assignment: Assignment
+    ) -> List[Condition]:
+        """Conditions computed by disjunction processes active under ``assignment``."""
+        relevant = []
+        for name, condition in sorted(self._disjunctions.items()):
+            if condition in assignment:
+                continue
+            guard = self._guards[name]
+            if guard.is_true() or guard.satisfied_by_partial(assignment):
+                relevant.append(condition)
+        return relevant
+
+    def _active_under(self, assignment: Assignment) -> Tuple[str, ...]:
+        return tuple(
+            name
+            for name in self._graph.topological_order()
+            if self._guards[name].is_true()
+            or self._guards[name].satisfied_by_partial(assignment)
+        )
+
+    def _enumerate(self) -> Iterator[AlternativePath]:
+        counter = {"index": 0}
+
+        def recurse(assignment: Assignment) -> Iterator[AlternativePath]:
+            pending = self._relevant_unassigned_conditions(assignment)
+            if not pending:
+                label = Conjunction.from_assignment(assignment)
+                active = self._active_under(assignment)
+                path = AlternativePath(
+                    label=label,
+                    assignment=dict(assignment),
+                    active_processes=active,
+                    index=counter["index"],
+                )
+                counter["index"] += 1
+                yield path
+                return
+            condition = pending[0]
+            for value in (True, False):
+                extended = dict(assignment)
+                extended[condition] = value
+                yield from recurse(extended)
+
+        yield from recurse({})
+
+
+def enumerate_paths(graph: ConditionalProcessGraph) -> List[AlternativePath]:
+    """Convenience wrapper returning all alternative paths of a graph."""
+    return PathEnumerator(graph).paths()
+
+
+def count_paths(graph: ConditionalProcessGraph) -> int:
+    """Convenience wrapper returning the number of alternative paths."""
+    return PathEnumerator(graph).count()

@@ -1,0 +1,23 @@
+"""Persistence of system descriptions (graph + architecture + mapping) as JSON."""
+
+from .serialization import (
+    SerializationError,
+    SystemDescription,
+    architecture_from_dict,
+    architecture_to_dict,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+
+__all__ = [
+    "SerializationError",
+    "SystemDescription",
+    "architecture_from_dict",
+    "architecture_to_dict",
+    "load_system",
+    "save_system",
+    "system_from_dict",
+    "system_to_dict",
+]

@@ -1,0 +1,224 @@
+"""JSON (de)serialisation of systems: graphs, architectures and mappings.
+
+A *system description* bundles everything the scheduler needs — the
+conditional process graph, the target architecture and the mapping — into one
+plain-dictionary document that can be stored as JSON, versioned alongside a
+design, and fed to the command-line interface.  The format is deliberately
+simple and explicit:
+
+.. code-block:: json
+
+    {
+      "name": "demo",
+      "architecture": {
+        "condition_broadcast_time": 1.0,
+        "processors": [{"name": "pe1", "kind": "programmable", "speed": 1.0}],
+        "buses": [{"name": "bus1", "connects": ["pe1"]}]
+      },
+      "processes": [{"name": "P1", "execution_time": 3.0, "mapped_to": "pe1"}],
+      "edges": [{"src": "P1", "dst": "P2", "condition": "C", "value": true,
+                 "communication_time": 2.0}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..architecture import Architecture, Mapping, PEKind, ProcessingElement
+from ..conditions import Condition, Literal
+from ..graph import (
+    CPGBuilder,
+    ConditionalProcessGraph,
+    ExpandedGraph,
+    expand_communications,
+)
+
+
+class SerializationError(ValueError):
+    """Raised when a system description document is malformed."""
+
+
+@dataclass
+class SystemDescription:
+    """A deserialised system: graph + architecture + mapping, ready to schedule."""
+
+    name: str
+    graph: ConditionalProcessGraph
+    architecture: Architecture
+    mapping: Mapping
+
+    def expand(self) -> ExpandedGraph:
+        """Insert communication processes according to the mapping."""
+        return expand_communications(self.graph, self.mapping, self.architecture)
+
+
+# -- writing -----------------------------------------------------------------------
+
+
+def architecture_to_dict(architecture: Architecture) -> Dict[str, Any]:
+    """Serialise an architecture (processors, buses, connectivity, tau0)."""
+    processors = [
+        {"name": pe.name, "kind": pe.kind.value, "speed": pe.speed}
+        for pe in architecture.processors
+    ]
+    buses = [
+        {
+            "name": pe.name,
+            "speed": pe.speed,
+            "connects": [p.name for p in architecture.processors_on_bus(pe.name)],
+        }
+        for pe in architecture.buses
+    ]
+    return {
+        "condition_broadcast_time": architecture.condition_broadcast_time,
+        "processors": processors,
+        "buses": buses,
+    }
+
+
+def system_to_dict(
+    graph: ConditionalProcessGraph,
+    architecture: Architecture,
+    mapping: Mapping,
+    name: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Serialise a complete (process-level) system description."""
+    processes: List[Dict[str, Any]] = []
+    for process in graph.processes:
+        if process.is_dummy:
+            continue
+        entry: Dict[str, Any] = {
+            "name": process.name,
+            "execution_time": process.execution_time,
+        }
+        if process.execution_times:
+            entry["execution_times"] = dict(process.execution_times)
+        if process.is_conjunction:
+            entry["is_conjunction"] = True
+        mapped = mapping.get(process.name)
+        if mapped is not None:
+            entry["mapped_to"] = mapped.name
+        processes.append(entry)
+
+    edges: List[Dict[str, Any]] = []
+    for edge in graph.edges:
+        if graph[edge.src].is_dummy or graph[edge.dst].is_dummy:
+            continue
+        entry = {"src": edge.src, "dst": edge.dst}
+        if edge.communication_time:
+            entry["communication_time"] = edge.communication_time
+        if edge.condition is not None:
+            entry["condition"] = edge.condition.condition.name
+            entry["value"] = edge.condition.value
+        edges.append(entry)
+
+    return {
+        "name": name or graph.name,
+        "architecture": architecture_to_dict(architecture),
+        "processes": processes,
+        "edges": edges,
+    }
+
+
+def save_system(
+    path: Union[str, Path],
+    graph: ConditionalProcessGraph,
+    architecture: Architecture,
+    mapping: Mapping,
+    name: Optional[str] = None,
+) -> None:
+    """Write a system description to a JSON file."""
+    document = system_to_dict(graph, architecture, mapping, name)
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+# -- reading -----------------------------------------------------------------------
+
+
+def architecture_from_dict(document: Dict[str, Any]) -> Architecture:
+    """Deserialise an architecture document."""
+    try:
+        processor_docs = document["processors"]
+    except KeyError as error:
+        raise SerializationError("architecture document needs 'processors'") from error
+    processors = []
+    for entry in processor_docs:
+        kind = entry.get("kind", "programmable")
+        try:
+            pe_kind = PEKind(kind)
+        except ValueError as error:
+            raise SerializationError(f"unknown processing element kind {kind!r}") from error
+        if pe_kind is PEKind.BUS:
+            raise SerializationError("buses must be listed under 'buses'")
+        processors.append(
+            ProcessingElement(entry["name"], pe_kind, float(entry.get("speed", 1.0)))
+        )
+    buses = []
+    connectivity: Dict[str, List[str]] = {}
+    for entry in document.get("buses", []):
+        buses.append(
+            ProcessingElement(entry["name"], PEKind.BUS, float(entry.get("speed", 1.0)))
+        )
+        if "connects" in entry:
+            connectivity[entry["name"]] = list(entry["connects"])
+    return Architecture(
+        processors,
+        buses,
+        condition_broadcast_time=float(document.get("condition_broadcast_time", 1.0)),
+        connectivity=connectivity or None,
+    )
+
+
+def system_from_dict(document: Dict[str, Any]) -> SystemDescription:
+    """Deserialise a complete system description."""
+    for key in ("architecture", "processes", "edges"):
+        if key not in document:
+            raise SerializationError(f"system document is missing {key!r}")
+    architecture = architecture_from_dict(document["architecture"])
+    name = document.get("name", "system")
+
+    builder = CPGBuilder(name)
+    mapping = Mapping(architecture)
+    for entry in document["processes"]:
+        try:
+            process_name = entry["name"]
+            execution_time = float(entry["execution_time"])
+        except KeyError as error:
+            raise SerializationError(f"process entry {entry!r} is incomplete") from error
+        builder.process(
+            process_name,
+            execution_time,
+            execution_times=entry.get("execution_times"),
+            is_conjunction=bool(entry.get("is_conjunction", False)),
+        )
+        if "mapped_to" in entry:
+            mapping.assign(process_name, architecture[entry["mapped_to"]])
+
+    for entry in document["edges"]:
+        condition: Optional[Literal] = None
+        if "condition" in entry:
+            condition = Literal(
+                Condition(entry["condition"]), bool(entry.get("value", True))
+            )
+        builder.edge(
+            entry["src"],
+            entry["dst"],
+            condition=condition,
+            communication_time=float(entry.get("communication_time", 0.0)),
+        )
+
+    graph = builder.build()
+    return SystemDescription(name, graph, architecture, mapping)
+
+
+def load_system(path: Union[str, Path]) -> SystemDescription:
+    """Read a system description from a JSON file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"{path} is not valid JSON: {error}") from error
+    return system_from_dict(document)

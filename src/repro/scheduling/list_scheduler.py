@@ -1,0 +1,296 @@
+"""List scheduling of one alternative path on the target architecture.
+
+This module implements the per-path scheduler the merging algorithm builds on
+(the paper delegates it to reference [5] and only states that it is a list
+scheduling heuristic).  The same dispatch engine serves two purposes:
+
+* producing the (near) optimal schedule of each alternative path, with
+  partial-critical-path priorities; and
+* re-adjusting a path's schedule during table generation, where some
+  activation times are *locked* to previously fixed values and the remaining
+  (unlocked) processes are moved to the earliest feasible moment while keeping
+  their original relative order on each non-hardware processing element.
+
+The resource model follows the paper: a programmable processor executes one
+process at a time, a bus carries one transfer at a time, a hardware processor
+executes processes in parallel, and computation overlaps with communication.
+After a disjunction process terminates, the value of its condition is
+broadcast on the first available bus connected to all processors
+(duration ``tau0``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..architecture.architecture import Architecture
+from ..architecture.mapping import Mapping
+from ..architecture.processing_element import ProcessingElement
+from ..conditions import Condition
+from ..graph.cpg import ConditionalProcessGraph
+from ..graph.paths import AlternativePath
+from .priorities import critical_path_priorities
+from .schedule import PathSchedule, ScheduledTask
+
+_EPSILON = 1e-9
+
+
+class SchedulingError(RuntimeError):
+    """Raised when a path cannot be scheduled (circular or unmapped processes)."""
+
+
+class _ResourceTimeline:
+    """Occupied intervals of one sequential processing element."""
+
+    def __init__(self) -> None:
+        self._intervals: List[Tuple[float, float]] = []
+
+    def reserve(self, start: float, end: float) -> None:
+        if end - start <= _EPSILON:
+            return
+        self._intervals.append((start, end))
+        self._intervals.sort()
+
+    def earliest_slot(self, ready: float, duration: float) -> float:
+        """Earliest start >= ready such that [start, start+duration) is free."""
+        if duration <= _EPSILON:
+            return ready
+        start = ready
+        for busy_start, busy_end in self._intervals:
+            if busy_end <= start + _EPSILON:
+                continue
+            if busy_start >= start + duration - _EPSILON:
+                break
+            start = max(start, busy_end)
+        return start
+
+    def intervals(self) -> List[Tuple[float, float]]:
+        return list(self._intervals)
+
+
+class PathListScheduler:
+    """List scheduler for a single alternative path.
+
+    Parameters
+    ----------
+    graph:
+        The expanded conditional process graph (communication processes
+        inserted).
+    mapping:
+        Mapping of every non-dummy process to its processing element.
+    architecture:
+        The target architecture (provides buses and ``tau0``).
+    """
+
+    def __init__(
+        self,
+        graph: ConditionalProcessGraph,
+        mapping: Mapping,
+        architecture: Optional[Architecture] = None,
+    ) -> None:
+        self._graph = graph
+        self._mapping = mapping
+        self._architecture = architecture or mapping.architecture
+        self._disjunctions = graph.disjunction_processes()
+        self._guards = graph.guards()
+
+    # -- public API -------------------------------------------------------------
+
+    def schedule(
+        self,
+        path: AlternativePath,
+        *,
+        priorities: Optional[Dict[str, float]] = None,
+        locked_starts: Optional[Dict[str, float]] = None,
+        locked_broadcasts: Optional[Dict[Condition, ScheduledTask]] = None,
+        order_hint: Optional[Dict[str, float]] = None,
+    ) -> PathSchedule:
+        """Schedule one alternative path.
+
+        ``locked_starts`` pins processes to previously fixed activation times
+        (schedule adjustment during merging); ``locked_broadcasts`` does the
+        same for condition broadcasts.  ``order_hint`` gives the original start
+        times used to preserve the relative order of unlocked processes; when
+        omitted, partial-critical-path priorities decide the dispatch order.
+        """
+        locked_starts = dict(locked_starts or {})
+        locked_broadcasts = dict(locked_broadcasts or {})
+        if priorities is None:
+            priorities = critical_path_priorities(self._graph, path, self._mapping)
+
+        active = list(path.active_processes)
+        active_set = set(active)
+        durations: Dict[str, float] = {}
+        pes: Dict[str, Optional[ProcessingElement]] = {}
+        for name in active:
+            process = self._graph[name]
+            pe = None if process.is_dummy else self._mapping.get(name)
+            if pe is None and not process.is_dummy:
+                raise SchedulingError(f"process {name!r} is not mapped")
+            pes[name] = pe
+            durations[name] = process.duration_on(pe)
+
+        predecessors: Dict[str, Tuple[str, ...]] = {
+            name: tuple(
+                pred
+                for pred in self._graph.active_predecessors(name, path.assignment)
+                if pred in active_set
+            )
+            for name in active
+        }
+
+        timelines: Dict[str, _ResourceTimeline] = {}
+
+        def timeline(pe: ProcessingElement) -> _ResourceTimeline:
+            return timelines.setdefault(pe.name, _ResourceTimeline())
+
+        # Pre-reserve the intervals of locked processes and broadcasts so that
+        # unlocked activities are placed around them.
+        for name, start in locked_starts.items():
+            if name not in active_set:
+                continue
+            pe = pes[name]
+            if pe is not None and pe.executes_sequentially:
+                timeline(pe).reserve(start, start + durations[name])
+        for task in locked_broadcasts.values():
+            if task.pe is not None and task.pe.executes_sequentially:
+                timeline(task.pe).reserve(task.start, task.end)
+
+        scheduled: Dict[str, ScheduledTask] = {}
+        broadcasts: Dict[Condition, ScheduledTask] = {}
+        determination: Dict[Condition, float] = {}
+        disjunction_pes: Dict[Condition, Optional[ProcessingElement]] = {}
+        pending_broadcasts: List[Tuple[float, Condition, Optional[ProcessingElement]]] = []
+
+        def dispatch_key(name: str) -> Tuple[float, float, str]:
+            hint = order_hint.get(name, float("inf")) if order_hint else float("inf")
+            return (hint, -priorities.get(name, 0.0), name)
+
+        def schedule_broadcast(
+            condition: Condition, ready: float, origin: Optional[ProcessingElement]
+        ) -> None:
+            locked = locked_broadcasts.get(condition)
+            if locked is not None:
+                broadcasts[condition] = locked
+                return
+            tau0 = self._architecture.condition_broadcast_time
+            buses = self._architecture.broadcast_buses()
+            if not buses or len(self._architecture.processors) <= 1:
+                # A single-processor system (or one without buses) needs no
+                # broadcast: the value is immediately known everywhere.
+                broadcasts[condition] = ScheduledTask(
+                    f"cond:{condition}", ready, 0.0, None, condition
+                )
+                return
+            best: Optional[Tuple[float, ProcessingElement]] = None
+            for bus in buses:
+                start = timeline(bus).earliest_slot(ready, tau0)
+                if best is None or start < best[0] - _EPSILON:
+                    best = (start, bus)
+            assert best is not None
+            start, bus = best
+            timeline(bus).reserve(start, start + tau0)
+            broadcasts[condition] = ScheduledTask(
+                f"cond:{condition}", start, tau0, bus, condition
+            )
+
+        remaining = set(active)
+        progress_guard = 0
+        limit = 4 * (len(active) + 1)
+        while remaining:
+            progress_guard += 1
+            if progress_guard > limit:
+                raise SchedulingError(
+                    f"scheduler failed to make progress on path {path.label}"
+                )
+            # Broadcasts are dispatched as soon as their condition is computed.
+            while pending_broadcasts:
+                pending_broadcasts.sort()
+                ready, condition, origin = pending_broadcasts.pop(0)
+                schedule_broadcast(condition, ready, origin)
+
+            candidates = [
+                name
+                for name in remaining
+                if all(pred in scheduled for pred in predecessors[name])
+            ]
+            if not candidates:
+                raise SchedulingError(
+                    f"no dispatchable process on path {path.label}; "
+                    "the subgraph has a dependency cycle or missing processes"
+                )
+            locked_candidates = [c for c in candidates if c in locked_starts]
+            if locked_candidates:
+                name = min(locked_candidates, key=lambda c: (locked_starts[c], c))
+                start = locked_starts[name]
+            else:
+                name = min(candidates, key=dispatch_key)
+                data_ready = max(
+                    (scheduled[pred].end for pred in predecessors[name]), default=0.0
+                )
+                pe = pes[name]
+                # Requirement 4 of the paper: the run-time scheduler may only
+                # activate a process once the conditions its guard depends on
+                # are known on the executing processing element.  Delay the
+                # start until every such condition value has reached ``pe``.
+                knowledge_ready = self._guard_knowledge_time(
+                    name, pe, determination, disjunction_pes, broadcasts
+                )
+                data_ready = max(data_ready, knowledge_ready)
+                if pe is None:
+                    start = data_ready
+                elif pe.executes_sequentially:
+                    start = timeline(pe).earliest_slot(data_ready, durations[name])
+                    timeline(pe).reserve(start, start + durations[name])
+                else:
+                    start = data_ready
+            task = ScheduledTask(name, start, durations[name], pes[name])
+            scheduled[name] = task
+            remaining.discard(name)
+            progress_guard = 0
+
+            condition = self._disjunctions.get(name)
+            if condition is not None:
+                determination[condition] = task.end
+                disjunction_pes[condition] = pes[name]
+                pending_broadcasts.append((task.end, condition, pes[name]))
+
+        while pending_broadcasts:
+            pending_broadcasts.sort()
+            ready, condition, origin = pending_broadcasts.pop(0)
+            schedule_broadcast(condition, ready, origin)
+
+        return PathSchedule(path, scheduled, broadcasts, determination, disjunction_pes)
+
+    def schedule_all(
+        self, paths: List[AlternativePath]
+    ) -> Dict[AlternativePath, PathSchedule]:
+        """Schedule every alternative path with default priorities."""
+        return {path: self.schedule(path) for path in paths}
+
+    # -- internal helpers ---------------------------------------------------------
+
+    def _guard_knowledge_time(
+        self,
+        name: str,
+        pe: Optional[ProcessingElement],
+        determination: Dict[Condition, float],
+        disjunction_pes: Dict[Condition, Optional[ProcessingElement]],
+        broadcasts: Dict[Condition, ScheduledTask],
+    ) -> float:
+        """Earliest time the guard-relevant condition values are known on ``pe``."""
+        guard = self._guards.get(name)
+        if guard is None or guard.is_true():
+            return 0.0
+        ready = 0.0
+        for condition in guard.conditions:
+            if condition not in determination:
+                continue
+            origin = disjunction_pes.get(condition)
+            if pe is not None and origin is not None and pe == origin:
+                known = determination[condition]
+            else:
+                broadcast = broadcasts.get(condition)
+                known = broadcast.end if broadcast is not None else determination[condition]
+            ready = max(ready, known)
+        return ready

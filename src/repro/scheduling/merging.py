@@ -1,0 +1,478 @@
+"""Schedule merging: generation of the global schedule table.
+
+This is the core contribution of the paper (Section 5).  Starting from the
+(near) optimal schedules of every alternative path, the merger walks the
+binary decision tree of condition values in depth-first order and
+progressively fills the schedule table:
+
+* at every tree node, priority is given to the reachable path with the largest
+  delay — its schedule is followed and its activation times are fixed in the
+  table;
+* when a back-step selects a new path, the new path's schedule is *adjusted*:
+  processes whose activation time was already fixed in a column that depends
+  only on conditions determined before the branching node are locked to that
+  time, and the remaining (unlocked) processes are rescheduled to the earliest
+  feasible moment while keeping their original relative order;
+* a placement that would violate the determinism requirement (the same process
+  with different activation times under non-exclusive columns) is a *conflict*;
+  following Theorem 2 of the paper the process is moved to the activation time
+  of one of the conflicting columns (and, as a safety net beyond the paper,
+  delayed until the distinguishing condition is known on its processing
+  element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..architecture.architecture import Architecture
+from ..architecture.mapping import Mapping
+from ..architecture.processing_element import ProcessingElement
+from ..conditions import Condition, Conjunction, Literal
+from ..graph.cpg import ConditionalProcessGraph
+from ..graph.paths import AlternativePath, PathEnumerator
+from .list_scheduler import PathListScheduler
+from .schedule import PathSchedule, ScheduledTask
+from .schedule_table import ScheduleTable, TableEntry
+from .trace import DecisionNode, MergeTrace
+
+_EPSILON = 1e-9
+
+
+class MergeConflictError(RuntimeError):
+    """Raised when a table conflict cannot be resolved (should not happen)."""
+
+
+@dataclass
+class MergeResult:
+    """Everything produced by one run of the schedule merger."""
+
+    table: ScheduleTable
+    path_schedules: Dict[Conjunction, PathSchedule]
+    trace: MergeTrace
+    delta_m: float
+    delta_max: float
+    paths: List[AlternativePath] = field(default_factory=list)
+
+    @property
+    def delay_increase(self) -> float:
+        """Absolute increase of the worst-case delay over the ideal ``delta_M``."""
+        return self.delta_max - self.delta_m
+
+    @property
+    def delay_increase_percent(self) -> float:
+        """Percentage increase of ``delta_max`` over ``delta_M`` (Fig. 5 metric)."""
+        if self.delta_m <= 0:
+            return 0.0
+        return 100.0 * (self.delta_max - self.delta_m) / self.delta_m
+
+
+class ScheduleMerger:
+    """Generates a schedule table from the per-path schedules of a CPG."""
+
+    def __init__(
+        self,
+        graph: ConditionalProcessGraph,
+        mapping: Mapping,
+        architecture: Optional[Architecture] = None,
+        scheduler: Optional[PathListScheduler] = None,
+    ) -> None:
+        self._graph = graph
+        self._mapping = mapping
+        self._architecture = architecture or mapping.architecture
+        self._scheduler = scheduler or PathListScheduler(
+            graph, mapping, self._architecture
+        )
+        self._guards = graph.guards()
+
+    # -- public API -----------------------------------------------------------------
+
+    def merge(
+        self,
+        paths: Optional[List[AlternativePath]] = None,
+        path_schedules: Optional[Dict[Conjunction, PathSchedule]] = None,
+    ) -> MergeResult:
+        """Run the table-generation algorithm and return the result."""
+        if paths is None:
+            paths = PathEnumerator(self._graph).paths()
+        if not paths:
+            raise ValueError("the graph has no alternative paths")
+        if path_schedules is None:
+            path_schedules = {
+                path.label: self._scheduler.schedule(path) for path in paths
+            }
+        self._paths = list(paths)
+        self._optimal = dict(path_schedules)
+        self._table = ScheduleTable(name=f"{self._graph.name}-table")
+        self._trace = MergeTrace(
+            path_delays={label: sched.delay for label, sched in self._optimal.items()}
+        )
+
+        initial = max(self._paths, key=lambda p: self._optimal[p.label].delay)
+        root = self._explore({}, self._optimal[initial.label].copy(), False, 0)
+        self._trace.root = root
+
+        delta_m = max(sched.delay for sched in self._optimal.values())
+        delta_max = self._table.worst_case_delay(self._graph, self._mapping, self._paths)
+        return MergeResult(
+            table=self._table,
+            path_schedules=dict(self._optimal),
+            trace=self._trace,
+            delta_m=delta_m,
+            delta_max=delta_max,
+            paths=list(self._paths),
+        )
+
+    # -- decision-tree exploration ------------------------------------------------------
+
+    def _explore(
+        self,
+        known: Dict[Condition, bool],
+        current: PathSchedule,
+        back_step: bool,
+        depth: int,
+    ) -> DecisionNode:
+        node = DecisionNode(
+            known=Conjunction.from_assignment(known),
+            selected_path=current.path.label,
+            entered_by_back_step=back_step,
+            depth=depth,
+        )
+        # Placement of activation times, restarted whenever conflict handling
+        # re-adjusts the current schedule (which may move later activities).
+        for _ in range(len(current.tasks) + len(current.broadcasts) + 2):
+            branch_condition, branch_time = self._next_branch(known, current)
+            modified, current = self._place_segment(
+                known, current, branch_time, node
+            )
+            if not modified:
+                break
+        else:
+            raise MergeConflictError(
+                "conflict handling failed to converge while merging schedules"
+            )
+
+        node.branch_condition = branch_condition
+        node.branch_time = None if branch_condition is None else branch_time
+        if branch_condition is None:
+            return node
+
+        # First branch (no back-step): the value taken by the current path.
+        value = current.path.assignment[branch_condition]
+        same_known = dict(known)
+        same_known[branch_condition] = value
+        node.children.append(self._explore(same_known, current, False, depth + 1))
+
+        # Back-step: the opposite value; select the reachable path with the
+        # largest delay and adjust its schedule to the already fixed times.
+        other_known = dict(known)
+        other_known[branch_condition] = not value
+        reachable = [
+            path
+            for path in self._paths
+            if path.label.consistent_with_partial(other_known)
+        ]
+        if reachable:
+            self._trace.back_steps += 1
+            new_path = max(reachable, key=lambda p: self._optimal[p.label].delay)
+            adjusted, locked_count = self._adjust(new_path, other_known)
+            self._trace.adjustments += 1
+            child = self._explore(other_known, adjusted, True, depth + 1)
+            child.locked_processes = locked_count
+            node.children.append(child)
+        return node
+
+    def _next_branch(
+        self, known: Dict[Condition, bool], current: PathSchedule
+    ) -> Tuple[Optional[Condition], float]:
+        """The next condition determined on the current path and its time."""
+        pending = [
+            (time, condition)
+            for condition, time in current.determination_times.items()
+            if condition not in known
+        ]
+        if not pending:
+            return None, float("inf")
+        time, condition = min(pending, key=lambda item: (item[0], item[1].name))
+        return condition, time
+
+    # -- placement of one segment -----------------------------------------------------
+
+    def _place_segment(
+        self,
+        known: Dict[Condition, bool],
+        current: PathSchedule,
+        branch_time: float,
+        node: DecisionNode,
+    ) -> Tuple[bool, PathSchedule]:
+        """Place activation times with start < branch_time into the table.
+
+        Returns ``(True, new_schedule)`` when conflict handling modified the
+        current schedule (the caller restarts the walk), ``(False, schedule)``
+        otherwise.
+        """
+        for item in current.all_items_in_order():
+            if item.start >= branch_time - _EPSILON:
+                break
+            if item.is_broadcast:
+                modified, current = self._place_broadcast(item, known, current)
+            else:
+                modified, current = self._place_process(item, known, current, node)
+            if modified:
+                return True, current
+        return False, current
+
+    def _place_process(
+        self,
+        task: ScheduledTask,
+        known: Dict[Condition, bool],
+        current: PathSchedule,
+        node: DecisionNode,
+    ) -> Tuple[bool, PathSchedule]:
+        name = task.name
+        if self._graph[name].is_dummy:
+            return False, current
+        if self._applicable_entry(self._table.process_entries(name), known) is not None:
+            return False, current
+        pe = self._mapping.get(name)
+        column = self._column_for(pe, task.start, known, current)
+        conflicts = self._conflicting_entries(
+            self._table.process_entries(name), column, task.start
+        )
+        if not conflicts:
+            self._table.add_process_entry(name, column, task.start, pe)
+            return False, current
+        node.conflicts_resolved += 1
+        self._trace.conflicts_resolved += 1
+        new_current = self._resolve_process_conflict(name, conflicts, known, current)
+        return True, new_current
+
+    def _place_broadcast(
+        self,
+        task: ScheduledTask,
+        known: Dict[Condition, bool],
+        current: PathSchedule,
+    ) -> Tuple[bool, PathSchedule]:
+        condition = task.condition
+        assert condition is not None
+        if condition not in known:
+            # The broadcast of the condition about to be branched on is placed
+            # in the deeper segments, once the condition is part of ``known``.
+            return False, current
+        if (
+            self._applicable_entry(self._table.condition_entries(condition), known)
+            is not None
+        ):
+            return False, current
+        column = self._column_for(
+            task.pe, task.start, known, current, exclude=condition
+        )
+        conflicts = self._conflicting_entries(
+            self._table.condition_entries(condition), column, task.start
+        )
+        if not conflicts:
+            self._table.add_condition_entry(condition, column, task.start, task.pe)
+            return False, current
+        # Move the broadcast to the previously fixed time (Theorem 2 applied to
+        # the broadcast row) and re-adjust the current schedule around it.
+        self._trace.conflicts_resolved += 1
+        target = min(conflicts, key=lambda e: e.start)
+        forced = ScheduledTask(
+            task.name, target.start, task.duration, target.pe or task.pe, condition
+        )
+        new_current = self._readjust(
+            current, extra_locked_broadcasts={condition: forced}
+        )
+        return True, new_current
+
+    # -- columns, locks and conflicts --------------------------------------------------
+
+    def _column_for(
+        self,
+        pe: Optional[ProcessingElement],
+        start: float,
+        known: Dict[Condition, bool],
+        current: PathSchedule,
+        exclude: Optional[Condition] = None,
+    ) -> Conjunction:
+        """Conjunction of the condition values known on ``pe`` at ``start``."""
+        literals = []
+        for condition, value in known.items():
+            if exclude is not None and condition == exclude:
+                continue
+            if condition not in current.determination_times:
+                continue
+            if current.condition_known_time(condition, pe) <= start + _EPSILON:
+                literals.append(Literal(condition, value))
+        return Conjunction(literals)
+
+    @staticmethod
+    def _applicable_entry(
+        entries: Tuple[TableEntry, ...], known: Dict[Condition, bool]
+    ) -> Optional[TableEntry]:
+        """An entry whose column depends only on (and agrees with) ``known``."""
+        for entry in entries:
+            if entry.column.conditions <= set(known) and entry.column.satisfied_by_partial(
+                known
+            ):
+                return entry
+        return None
+
+    @staticmethod
+    def _conflicting_entries(
+        entries: Tuple[TableEntry, ...], column: Conjunction, start: float
+    ) -> List[TableEntry]:
+        """Entries violating requirement 2 against a prospective new entry."""
+        return [
+            entry
+            for entry in entries
+            if abs(entry.start - start) > _EPSILON
+            and not entry.column.is_mutually_exclusive_with(column)
+        ]
+
+    def _locks_from_table(
+        self, known: Dict[Condition, bool]
+    ) -> Tuple[Dict[str, float], Dict[Condition, ScheduledTask]]:
+        """Previously fixed activation times that apply under ``known``."""
+        locked: Dict[str, float] = {}
+        for name in self._table.process_names:
+            entry = self._applicable_entry(self._table.process_entries(name), known)
+            if entry is not None:
+                locked[name] = entry.start
+        locked_broadcasts: Dict[Condition, ScheduledTask] = {}
+        tau0 = self._architecture.condition_broadcast_time
+        for condition in self._table.conditions:
+            entry = self._applicable_entry(
+                self._table.condition_entries(condition), known
+            )
+            if entry is not None:
+                duration = tau0 if entry.pe is not None else 0.0
+                locked_broadcasts[condition] = ScheduledTask(
+                    f"cond:{condition}", entry.start, duration, entry.pe, condition
+                )
+        return locked, locked_broadcasts
+
+    def _adjust(
+        self, path: AlternativePath, known: Dict[Condition, bool]
+    ) -> Tuple[PathSchedule, int]:
+        """Adjust a newly selected path's schedule to the already fixed times."""
+        locked, locked_broadcasts = self._locks_from_table(known)
+        locked = {
+            name: start for name, start in locked.items() if path.includes(name)
+        }
+        locked_broadcasts = {
+            condition: task
+            for condition, task in locked_broadcasts.items()
+            if condition in self._optimal[path.label].determination_times
+        }
+        original = self._optimal[path.label]
+        order_hint = {name: task.start for name, task in original.tasks.items()}
+        adjusted = self._scheduler.schedule(
+            path,
+            locked_starts=locked,
+            locked_broadcasts=locked_broadcasts,
+            order_hint=order_hint,
+        )
+        return adjusted, len(locked)
+
+    def _readjust(
+        self,
+        current: PathSchedule,
+        extra_locked: Optional[Dict[str, float]] = None,
+        extra_locked_broadcasts: Optional[Dict[Condition, ScheduledTask]] = None,
+    ) -> PathSchedule:
+        """Re-run the adjustment of the current path with additional locks."""
+        known = dict(current.path.assignment)
+        # Locks must reflect what has been placed so far for this tree branch;
+        # using the full path assignment keeps exactly the entries consistent
+        # with the path, which is a superset of the entries placed so far and
+        # therefore safe (they will be placed later at the same times).
+        locked, locked_broadcasts = self._locks_from_table(known)
+        locked = {
+            name: start
+            for name, start in locked.items()
+            if current.path.includes(name)
+        }
+        if extra_locked:
+            locked.update(extra_locked)
+        if extra_locked_broadcasts:
+            locked_broadcasts.update(extra_locked_broadcasts)
+        original = self._optimal[current.path.label]
+        order_hint = {name: task.start for name, task in original.tasks.items()}
+        return self._scheduler.schedule(
+            current.path,
+            locked_starts=locked,
+            locked_broadcasts=locked_broadcasts,
+            order_hint=order_hint,
+        )
+
+    def _resolve_process_conflict(
+        self,
+        name: str,
+        conflicts: List[TableEntry],
+        known: Dict[Condition, bool],
+        current: PathSchedule,
+    ) -> PathSchedule:
+        """Move the process to a conflict-free activation time (Theorem 2)."""
+        pe = self._mapping.get(name)
+        entries = self._table.process_entries(name)
+        candidate_times = sorted({entry.start for entry in conflicts})
+
+        # Cheap pre-screening: the column a candidate time would get depends on
+        # the condition-knowledge times, which re-adjusting around one moved
+        # process almost never changes.  Try the candidates against the current
+        # schedule first and only pay for a full re-adjustment on the best one;
+        # the per-candidate re-adjustment loop below remains as the fallback.
+        for candidate in candidate_times:
+            column = self._column_for(pe, candidate, known, current)
+            if self._conflicting_entries(entries, column, candidate):
+                continue
+            adjusted = self._readjust(current, extra_locked={name: candidate})
+            column = self._column_for(pe, candidate, known, adjusted)
+            if not self._conflicting_entries(entries, column, candidate):
+                self._table.add_process_entry(name, column, candidate, pe)
+                return adjusted
+            break
+
+        for candidate in candidate_times:
+            adjusted = self._readjust(current, extra_locked={name: candidate})
+            column = self._column_for(pe, candidate, known, adjusted)
+            if not self._conflicting_entries(entries, column, candidate):
+                self._table.add_process_entry(name, column, candidate, pe)
+                return adjusted
+
+        # Safety net beyond Theorem 2: delay the process until some condition
+        # distinguishing it from every conflicting column is known on its
+        # processing element, which makes the new column mutually exclusive
+        # with all conflicting entries.
+        fallback_times = sorted(
+            {
+                current.condition_known_time(condition, pe)
+                for condition in known
+                if condition in current.determination_times
+            }
+        )
+        for candidate in fallback_times:
+            if candidate <= max(candidate_times) + _EPSILON:
+                continue
+            adjusted = self._readjust(current, extra_locked={name: candidate})
+            column = self._column_for(pe, candidate, known, adjusted)
+            if not self._conflicting_entries(entries, column, candidate):
+                self._table.add_process_entry(name, column, candidate, pe)
+                return adjusted
+
+        raise MergeConflictError(
+            f"could not resolve the table conflict for process {name!r} "
+            f"(conflicting times {candidate_times})"
+        )
+
+
+def merge_schedules(
+    graph: ConditionalProcessGraph,
+    mapping: Mapping,
+    architecture: Optional[Architecture] = None,
+) -> MergeResult:
+    """Convenience wrapper: enumerate paths, schedule them and merge."""
+    merger = ScheduleMerger(graph, mapping, architecture)
+    return merger.merge()

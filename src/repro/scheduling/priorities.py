@@ -1,0 +1,73 @@
+"""Priority functions for list scheduling.
+
+The per-path scheduler of the paper (reference [5]) is a list scheduler; the
+quality of a list schedule depends on the priority assigned to each ready
+process.  The classic choice — and the one used here by default — is the
+*partial critical path*: the length of the longest chain of execution times
+from a process to the sink within the active subgraph.  Processes on the
+critical path are dispatched first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..architecture.mapping import Mapping
+from ..graph.cpg import ConditionalProcessGraph
+from ..graph.paths import AlternativePath
+
+
+def critical_path_priorities(
+    graph: ConditionalProcessGraph,
+    path: AlternativePath,
+    mapping: Mapping,
+) -> Dict[str, float]:
+    """Length of the longest execution chain from each active process to the sink.
+
+    The length includes the process' own execution time on its mapped
+    processing element.  Only processes active on ``path`` are considered.
+    """
+    active = set(path.active_processes)
+    priorities: Dict[str, float] = {}
+    for name in reversed(graph.topological_order()):
+        if name not in active:
+            continue
+        process = graph[name]
+        duration = process.duration_on(mapping.get(name))
+        longest_successor = 0.0
+        for successor in graph.successors(name):
+            if successor in active and successor in priorities:
+                longest_successor = max(longest_successor, priorities[successor])
+        priorities[name] = duration + longest_successor
+    return priorities
+
+
+def upward_rank_priorities(
+    graph: ConditionalProcessGraph,
+    path: AlternativePath,
+    mapping: Mapping,
+) -> Dict[str, float]:
+    """HEFT-style upward rank: like the critical path but averaging over speeds.
+
+    With a single speed per mapped processing element this coincides with
+    :func:`critical_path_priorities`; it is provided as an alternative priority
+    function for ablation experiments.
+    """
+    return critical_path_priorities(graph, path, mapping)
+
+
+def static_order_priorities(
+    path: AlternativePath, order: Optional[Dict[str, float]] = None
+) -> Dict[str, float]:
+    """Priorities that reproduce a given order (larger value = dispatched first).
+
+    Used by the schedule-adjustment step of the merging algorithm, which must
+    keep the relative order of unlocked processes as in the original per-path
+    schedule.
+    """
+    if order is None:
+        return {name: 0.0 for name in path.active_processes}
+    largest = max(order.values(), default=0.0)
+    return {
+        name: largest - order.get(name, largest) for name in path.active_processes
+    }

@@ -1,0 +1,249 @@
+"""The schedule table produced by the merging algorithm.
+
+The schedule table has one row per (ordinary or communication) process and one
+row per condition broadcast.  Each column is headed by a conjunction of
+condition values; the cell at row *P*, column *E* holds the activation time of
+*P* when *E* is true.  Section 3 of the paper states four requirements the
+table must satisfy to yield a deterministic distributed execution; this module
+represents the table and checks requirements 1–3 statically (requirement 4 —
+activation may only depend on conditions already known on the executing
+processing element — is enforced by construction during merging and
+re-verified dynamically by the run-time simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..architecture.mapping import Mapping as PEMapping
+from ..architecture.processing_element import ProcessingElement
+from ..conditions import BoolExpr, Condition, Conjunction
+from ..graph.cpg import ConditionalProcessGraph
+from ..graph.paths import AlternativePath
+
+
+class ScheduleTableError(ValueError):
+    """Raised when a schedule table violates one of the paper's requirements."""
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One activation time, valid when the column expression is true."""
+
+    column: Conjunction
+    start: float
+    pe: Optional[ProcessingElement] = None
+
+    def __str__(self) -> str:
+        return f"{self.start:g} [{self.column}]"
+
+
+class ScheduleTable:
+    """Rows of activation times indexed by column expressions."""
+
+    def __init__(self, name: str = "schedule-table") -> None:
+        self.name = name
+        self._process_rows: Dict[str, List[TableEntry]] = {}
+        self._condition_rows: Dict[Condition, List[TableEntry]] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    def add_process_entry(
+        self,
+        process_name: str,
+        column: Conjunction,
+        start: float,
+        pe: Optional[ProcessingElement] = None,
+    ) -> TableEntry:
+        """Record an activation time for a process under a column expression."""
+        entry = TableEntry(column, start, pe)
+        self._process_rows.setdefault(process_name, []).append(entry)
+        return entry
+
+    def add_condition_entry(
+        self,
+        condition: Condition,
+        column: Conjunction,
+        start: float,
+        pe: Optional[ProcessingElement] = None,
+    ) -> TableEntry:
+        """Record the start of a condition broadcast under a column expression."""
+        entry = TableEntry(column, start, pe)
+        self._condition_rows.setdefault(condition, []).append(entry)
+        return entry
+
+    # -- access ---------------------------------------------------------------------
+
+    @property
+    def process_names(self) -> Tuple[str, ...]:
+        return tuple(self._process_rows)
+
+    @property
+    def conditions(self) -> Tuple[Condition, ...]:
+        return tuple(self._condition_rows)
+
+    def process_entries(self, process_name: str) -> Tuple[TableEntry, ...]:
+        return tuple(self._process_rows.get(process_name, ()))
+
+    def condition_entries(self, condition: Condition) -> Tuple[TableEntry, ...]:
+        return tuple(self._condition_rows.get(condition, ()))
+
+    def columns(self) -> Tuple[Conjunction, ...]:
+        """All distinct column expressions, sorted by generality then text."""
+        seen = {
+            entry.column
+            for entries in self._process_rows.values()
+            for entry in entries
+        }
+        seen.update(
+            entry.column
+            for entries in self._condition_rows.values()
+            for entry in entries
+        )
+        return tuple(sorted(seen, key=lambda c: (len(c), str(c))))
+
+    def __iter__(self) -> Iterator[Tuple[str, Tuple[TableEntry, ...]]]:
+        for name, entries in self._process_rows.items():
+            yield name, tuple(entries)
+
+    def __len__(self) -> int:
+        return len(self._process_rows)
+
+    # -- interpretation ---------------------------------------------------------------
+
+    def activation_time(
+        self, process_name: str, assignment: Mapping[Condition, bool]
+    ) -> Optional[float]:
+        """Activation time of a process under a complete condition assignment.
+
+        Returns None when no column applies (the process is not activated on
+        the selected alternative path).  Raises when several applicable
+        columns give different times (a requirement-2 violation).
+        """
+        applicable = [
+            entry
+            for entry in self._process_rows.get(process_name, ())
+            if entry.column.satisfied_by_partial(assignment)
+        ]
+        if not applicable:
+            return None
+        times = {entry.start for entry in applicable}
+        if len(times) > 1:
+            raise ScheduleTableError(
+                f"ambiguous activation time for {process_name!r}: {sorted(times)}"
+            )
+        return applicable[0].start
+
+    def broadcast_time(
+        self, condition: Condition, assignment: Mapping[Condition, bool]
+    ) -> Optional[float]:
+        """Broadcast start time of a condition under a complete assignment."""
+        applicable = [
+            entry
+            for entry in self._condition_rows.get(condition, ())
+            if entry.column.satisfied_by_partial(assignment)
+        ]
+        if not applicable:
+            return None
+        times = {entry.start for entry in applicable}
+        if len(times) > 1:
+            raise ScheduleTableError(
+                f"ambiguous broadcast time for condition {condition}: {sorted(times)}"
+            )
+        return applicable[0].start
+
+    def delay_of_path(
+        self,
+        graph: ConditionalProcessGraph,
+        mapping: PEMapping,
+        path: AlternativePath,
+    ) -> float:
+        """Completion time of one alternative path executed from this table."""
+        delay = 0.0
+        for name in path.active_processes:
+            process = graph[name]
+            if process.is_dummy:
+                continue
+            start = self.activation_time(name, path.assignment)
+            if start is None:
+                raise ScheduleTableError(
+                    f"process {name!r} is active on path {path.label} but the "
+                    "table contains no applicable activation time"
+                )
+            delay = max(delay, start + process.duration_on(mapping.get(name)))
+        return delay
+
+    def worst_case_delay(
+        self,
+        graph: ConditionalProcessGraph,
+        mapping: PEMapping,
+        paths: Iterable[AlternativePath],
+    ) -> float:
+        """The worst-case delay ``delta_max`` over all alternative paths."""
+        return max(self.delay_of_path(graph, mapping, path) for path in paths)
+
+    # -- the paper's requirements -----------------------------------------------------
+
+    def check_requirement_1(self, graph: ConditionalProcessGraph) -> None:
+        """Every column of a process row must imply the process guard."""
+        guards = graph.guards()
+        for name, entries in self._process_rows.items():
+            guard = guards.get(name)
+            if guard is None:
+                continue
+            for entry in entries:
+                if not BoolExpr.from_conjunction(entry.column).implies(guard):
+                    raise ScheduleTableError(
+                        f"requirement 1 violated for {name!r}: column "
+                        f"{entry.column} does not imply guard {guard}"
+                    )
+
+    def check_requirement_2(self) -> None:
+        """Different activation times of one process must be mutually exclusive."""
+        for name, entries in self._process_rows.items():
+            self._check_exclusive(str(name), entries)
+        for condition, entries in self._condition_rows.items():
+            self._check_exclusive(f"condition {condition}", entries)
+
+    @staticmethod
+    def _check_exclusive(label: str, entries: List[TableEntry]) -> None:
+        for i, first in enumerate(entries):
+            for second in entries[i + 1 :]:
+                if abs(first.start - second.start) < 1e-9:
+                    continue
+                if not first.column.is_mutually_exclusive_with(second.column):
+                    raise ScheduleTableError(
+                        f"requirement 2 violated for {label}: columns "
+                        f"{first.column} (t={first.start:g}) and {second.column} "
+                        f"(t={second.start:g}) are not mutually exclusive"
+                    )
+
+    def check_requirement_3(
+        self, graph: ConditionalProcessGraph, paths: Iterable[AlternativePath]
+    ) -> None:
+        """Whenever a guard becomes true the process must have an activation time."""
+        for path in paths:
+            for name in path.active_processes:
+                if graph[name].is_dummy:
+                    continue
+                if self.activation_time(name, path.assignment) is None:
+                    raise ScheduleTableError(
+                        f"requirement 3 violated: {name!r} is active on path "
+                        f"{path.label} but has no applicable activation time"
+                    )
+
+    def check_requirements(
+        self, graph: ConditionalProcessGraph, paths: Iterable[AlternativePath]
+    ) -> None:
+        """Run the static checks for requirements 1–3."""
+        paths = list(paths)
+        self.check_requirement_1(graph)
+        self.check_requirement_2()
+        self.check_requirement_3(graph, paths)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduleTable(name={self.name!r}, rows={len(self._process_rows)}, "
+            f"columns={len(self.columns())})"
+        )

@@ -1,0 +1,14 @@
+"""Run-time execution model: simulate a schedule table and validate it."""
+
+from .runtime import ExecutedActivity, ExecutionTrace, RuntimeSimulator, SimulationError
+from .validation import ValidationReport, validate_merge_result, validate_schedule_table
+
+__all__ = [
+    "ExecutedActivity",
+    "ExecutionTrace",
+    "RuntimeSimulator",
+    "SimulationError",
+    "ValidationReport",
+    "validate_merge_result",
+    "validate_schedule_table",
+]

@@ -1,0 +1,88 @@
+"""Shared fixtures: the paper's Fig. 1 example and a few small hand-built systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Architecture,
+    CPGBuilder,
+    Condition,
+    Mapping,
+    bus,
+    hardware,
+    programmable,
+)
+from repro.data import load_fig1_example
+from repro.graph import expand_communications
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The paper's Fig. 1 system (graph, architecture, mapping, expansion)."""
+    return load_fig1_example()
+
+
+@pytest.fixture(scope="session")
+def fig1_merge_result(fig1):
+    """The merged schedule table of the Fig. 1 system (computed once)."""
+    from repro import ScheduleMerger
+
+    return ScheduleMerger(fig1.graph, fig1.expanded_mapping).merge()
+
+
+@pytest.fixture()
+def two_processor_architecture():
+    """Two programmable processors, one ASIC and one bus (tau0 = 1)."""
+    return Architecture(
+        processors=[programmable("pe1"), programmable("pe2"), hardware("hw1")],
+        buses=[bus("bus1")],
+        condition_broadcast_time=1.0,
+    )
+
+
+def build_small_conditional_system(architecture: Architecture):
+    """A five-process graph with one condition, mapped on two processors.
+
+    Structure::
+
+        P1 (pe1, computes C) --C--> P2 (pe2) ----\\
+           \\--!C--> P3 (pe1) --------------------> P5 (pe2)
+        P4 (pe2) --------------------------------/
+    """
+    C = Condition("C")
+    builder = CPGBuilder("small")
+    builder.process("P1", 4.0)
+    builder.process("P2", 3.0)
+    builder.process("P3", 5.0)
+    builder.process("P4", 2.0)
+    builder.process("P5", 1.0)
+    builder.edge("P1", "P2", condition=C.true(), communication_time=2.0)
+    builder.edge("P1", "P3", condition=C.false())
+    builder.edge("P2", "P5")
+    builder.edge("P3", "P5", communication_time=2.0)
+    builder.edge("P4", "P5")
+    graph = builder.build()
+
+    mapping = Mapping(architecture)
+    mapping.assign("P1", architecture["pe1"])
+    mapping.assign("P3", architecture["pe1"])
+    mapping.assign("P2", architecture["pe2"])
+    mapping.assign("P4", architecture["pe2"])
+    mapping.assign("P5", architecture["pe2"])
+    expanded = expand_communications(graph, mapping, architecture)
+    return graph, mapping, expanded
+
+
+@pytest.fixture()
+def small_system(two_processor_architecture):
+    """The small one-condition system plus its communication expansion."""
+    graph, mapping, expanded = build_small_conditional_system(
+        two_processor_architecture
+    )
+    return {
+        "architecture": two_processor_architecture,
+        "graph": graph,
+        "mapping": mapping,
+        "expanded": expanded,
+    }

@@ -1,0 +1,131 @@
+"""Tests for metrics, Gantt rendering, table formatting and reporting."""
+
+import pytest
+
+from repro.analysis import (
+    aggregate,
+    busy_fraction,
+    delay_increase,
+    format_comparison,
+    format_condition_rows,
+    format_schedule_table,
+    format_series,
+    format_table,
+    group_by,
+    render_gantt,
+    render_schedule_listing,
+    schedule_table_summary,
+    speedup,
+)
+from repro.scheduling import ScheduleMerger
+
+
+@pytest.fixture()
+def small_result(small_system):
+    return ScheduleMerger(
+        small_system["expanded"].graph,
+        small_system["expanded"].mapping,
+        small_system["architecture"],
+    ).merge()
+
+
+class TestMetrics:
+    def test_delay_increase_values(self, small_result):
+        increase = delay_increase(small_result)
+        assert increase.delta_m == small_result.delta_m
+        assert increase.absolute == pytest.approx(
+            small_result.delta_max - small_result.delta_m
+        )
+        assert increase.percent >= 0.0
+
+    def test_zero_increase_detection(self, small_result):
+        increase = delay_increase(small_result)
+        assert increase.is_zero == (increase.absolute < 1e-9)
+
+    def test_aggregate_over_results(self, small_result):
+        stats = aggregate([small_result, small_result])
+        assert stats.count == 2
+        assert stats.average_delta_m == pytest.approx(small_result.delta_m)
+        assert 0.0 <= stats.zero_increase_fraction <= 1.0
+        assert len(stats.increases) == 2
+
+    def test_aggregate_empty(self):
+        stats = aggregate([])
+        assert stats.count == 0
+        assert stats.average_increase_percent == 0.0
+
+    def test_group_by(self, small_result):
+        groups = group_by([(10, small_result), (10, small_result), (20, small_result)])
+        assert groups[10].count == 2
+        assert groups[20].count == 1
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == pytest.approx(2.0)
+        assert speedup(10.0, 0.0) == float("inf")
+
+
+class TestGantt:
+    def test_render_gantt_has_one_lane_per_element(self, small_system, small_result):
+        schedule = max(small_result.path_schedules.values(), key=lambda s: s.delay)
+        chart = render_gantt(schedule, small_system["architecture"], title="demo")
+        assert "demo" in chart
+        for pe in small_system["architecture"].processing_elements:
+            assert pe.name in chart
+
+    def test_render_schedule_listing_mentions_processes(self, small_result):
+        schedule = next(iter(small_result.path_schedules.values()))
+        listing = render_schedule_listing(schedule)
+        assert "P1" in listing
+        assert "broadcast" in listing or "process" in listing
+
+    def test_busy_fraction_between_zero_and_one(self, small_system, small_result):
+        schedule = next(iter(small_result.path_schedules.values()))
+        fractions = busy_fraction(schedule, small_system["architecture"])
+        assert fractions
+        assert all(0.0 <= value <= 1.0 + 1e-9 for value in fractions.values())
+
+
+class TestTableFormat:
+    def test_format_schedule_table_contains_rows_and_columns(self, small_result):
+        text = format_schedule_table(small_result.table)
+        assert "process" in text
+        assert "P1" in text
+        assert "true" in text
+
+    def test_format_schedule_table_row_selection(self, small_result):
+        text = format_schedule_table(small_result.table, process_order=["P1"])
+        assert "P1" in text and "P3" not in text.split("\n")[2]
+
+    def test_format_schedule_table_column_truncation(self, small_result):
+        text = format_schedule_table(small_result.table, max_columns=1)
+        assert text
+
+    def test_condition_rows(self, small_result):
+        text = format_condition_rows(small_result.table)
+        assert "C" in text and "t=" in text
+
+    def test_summary_counts(self, small_result):
+        summary = schedule_table_summary(small_result.table)
+        assert summary["rows"] >= 1
+        assert summary["columns"] >= 1
+        assert summary["entries"] >= summary["rows"]
+
+
+class TestReporting:
+    def test_format_series_aligns_values(self):
+        text = format_series(
+            "Fig. 5",
+            "paths",
+            {"60 nodes": {10: 1.0, 12: 2.0}, "80 nodes": {10: 1.5}},
+        )
+        assert "Fig. 5" in text and "paths" in text
+        assert "60 nodes" in text and "80 nodes" in text
+        assert "-" in text  # missing value placeholder
+
+    def test_format_table(self):
+        text = format_table("Table 2", ["arch", "mode1"], [["1P/1M", 4471]])
+        assert "Table 2" in text and "1P/1M" in text and "4471" in text
+
+    def test_format_comparison_includes_both_columns(self):
+        text = format_comparison("cmp", {"a": 1.0}, {"a": 2.0, "b": 3.0})
+        assert "paper" in text and "measured" in text and "b" in text

@@ -1,0 +1,206 @@
+"""Unit tests for processing elements, architectures and mappings."""
+
+import pytest
+
+from repro.architecture import (
+    Architecture,
+    ArchitectureError,
+    Mapping,
+    MappingError,
+    PEKind,
+    bus,
+    hardware,
+    make_processor,
+    programmable,
+    simple_architecture,
+)
+
+
+class TestProcessingElement:
+    def test_kinds(self):
+        assert programmable("pe1").kind is PEKind.PROGRAMMABLE
+        assert hardware("hw").kind is PEKind.HARDWARE
+        assert bus("b").kind is PEKind.BUS
+
+    def test_sequential_execution_flags(self):
+        assert programmable("pe1").executes_sequentially
+        assert bus("b").executes_sequentially
+        assert not hardware("hw").executes_sequentially
+
+    def test_predicates(self):
+        assert programmable("pe1").is_programmable
+        assert hardware("hw").is_hardware
+        assert bus("b").is_bus
+
+    def test_scaled_time_uses_speed(self):
+        fast = programmable("pent", speed=2.0)
+        assert fast.scaled_time(10.0) == pytest.approx(5.0)
+
+    def test_scaled_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            programmable("pe1").scaled_time(-1.0)
+
+    def test_speed_must_be_positive(self):
+        with pytest.raises(ValueError):
+            programmable("pe1", speed=0.0)
+
+    def test_name_must_be_non_empty(self):
+        with pytest.raises(ValueError):
+            programmable("")
+
+    def test_make_processor(self):
+        assert make_processor("a", is_hardware=True).is_hardware
+        assert make_processor("b").is_programmable
+
+
+class TestArchitecture:
+    def test_basic_accessors(self):
+        arch = Architecture(
+            [programmable("pe1"), hardware("hw1")], [bus("bus1")], 1.0
+        )
+        assert {pe.name for pe in arch.processors} == {"pe1", "hw1"}
+        assert [pe.name for pe in arch.buses] == ["bus1"]
+        assert len(arch.processing_elements) == 3
+        assert arch.condition_broadcast_time == 1.0
+
+    def test_lookup_by_name(self):
+        arch = simple_architecture(2, 1, 1)
+        assert arch["pe1"].is_programmable
+        assert arch["bus1"].is_bus
+        with pytest.raises(KeyError):
+            arch["nope"]
+        assert arch.get("nope") is None
+
+    def test_contains_accepts_names_and_elements(self):
+        arch = simple_architecture(1, 0, 1)
+        assert "pe1" in arch
+        assert arch["pe1"] in arch
+        assert "other" not in arch
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture([programmable("pe1"), programmable("pe1")], [])
+
+    def test_bus_passed_as_processor_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture([bus("b")], [])
+
+    def test_processor_passed_as_bus_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture([programmable("pe1")], [programmable("pe2")])
+
+    def test_needs_at_least_one_processor(self):
+        with pytest.raises(ArchitectureError):
+            Architecture([], [bus("b")])
+
+    def test_broadcast_buses_default_to_all(self):
+        arch = simple_architecture(3, 0, 2)
+        assert {b.name for b in arch.broadcast_buses()} == {"bus1", "bus2"}
+
+    def test_restricted_connectivity(self):
+        arch = Architecture(
+            [programmable("pe1"), programmable("pe2")],
+            [bus("bus1"), bus("bus2")],
+            connectivity={"bus2": ["pe1"]},
+        )
+        assert [b.name for b in arch.broadcast_buses()] == ["bus1"]
+        assert [p.name for p in arch.processors_on_bus("bus2")] == ["pe1"]
+        assert [b.name for b in arch.buses_between(arch["pe1"], arch["pe2"])] == [
+            "bus1"
+        ]
+
+    def test_connectivity_unknown_bus_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture(
+                [programmable("pe1")], [bus("bus1")], connectivity={"busX": ["pe1"]}
+            )
+
+    def test_connectivity_unknown_processor_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture(
+                [programmable("pe1")], [bus("bus1")], connectivity={"bus1": ["peX"]}
+            )
+
+    def test_validate_requires_a_broadcast_bus(self):
+        arch = Architecture(
+            [programmable("pe1"), programmable("pe2")],
+            [bus("bus1")],
+            connectivity={"bus1": ["pe1"]},
+        )
+        with pytest.raises(ArchitectureError):
+            arch.validate()
+
+    def test_validate_passes_for_full_connectivity(self):
+        simple_architecture(2, 1, 2).validate()
+
+    def test_describe_mentions_every_element(self):
+        text = simple_architecture(2, 1, 1).describe()
+        for name in ("pe1", "pe2", "pe3", "bus1", "tau0"):
+            assert name in text
+
+    def test_simple_architecture_validation(self):
+        with pytest.raises(ArchitectureError):
+            simple_architecture(0)
+
+
+class TestMapping:
+    def test_assign_and_lookup(self):
+        arch = simple_architecture(2, 0, 1)
+        mapping = Mapping(arch)
+        mapping.assign("P1", arch["pe1"])
+        assert mapping["P1"] == arch["pe1"]
+        assert "P1" in mapping and "P2" not in mapping
+        assert len(mapping) == 1
+
+    def test_assign_by_name(self):
+        arch = simple_architecture(1, 0, 1)
+        mapping = Mapping(arch)
+        mapping.assign("P1", "pe1")
+        assert mapping["P1"].name == "pe1"
+
+    def test_assign_many_and_processes_on(self):
+        arch = simple_architecture(2, 0, 1)
+        mapping = Mapping(arch)
+        mapping.assign_many(arch["pe2"], ["P1", "P2"])
+        assert mapping.processes_on(arch["pe2"]) == ("P1", "P2")
+
+    def test_unknown_element_rejected(self):
+        arch = simple_architecture(1, 0, 1)
+        other = programmable("foreign")
+        with pytest.raises(MappingError):
+            Mapping(arch).assign("P1", other)
+
+    def test_missing_process_lookup_raises(self):
+        arch = simple_architecture(1, 0, 1)
+        with pytest.raises(MappingError):
+            Mapping(arch)["missing"]
+        assert Mapping(arch).get("missing") is None
+
+    def test_validate_for_rejects_bus_mapping(self):
+        arch = simple_architecture(1, 0, 1)
+        mapping = Mapping(arch)
+        mapping.assign("P1", arch["bus1"])
+        with pytest.raises(MappingError):
+            mapping.validate_for(["P1"])
+
+    def test_validate_for_rejects_unmapped(self):
+        arch = simple_architecture(1, 0, 1)
+        with pytest.raises(MappingError):
+            Mapping(arch).validate_for(["P1"])
+
+    def test_copy_is_independent(self):
+        arch = simple_architecture(2, 0, 1)
+        mapping = Mapping(arch, {"P1": arch["pe1"]})
+        clone = mapping.copy()
+        clone.assign("P2", arch["pe2"])
+        assert "P2" not in mapping
+
+    def test_describe_groups_by_element(self):
+        arch = simple_architecture(2, 0, 1)
+        mapping = Mapping(arch, {"P1": arch["pe1"], "P2": arch["pe1"]})
+        assert "pe1: P1, P2" in mapping.describe()
+
+    def test_items_iteration(self):
+        arch = simple_architecture(1, 0, 1)
+        mapping = Mapping(arch, {"P1": arch["pe1"]})
+        assert dict(mapping.items()) == {"P1": arch["pe1"]}

@@ -1,0 +1,189 @@
+"""Tests for the ATM OAM case study (Table 2 of the paper).
+
+The absolute nanosecond values of Table 2 cannot be reproduced (the VHDL
+process graphs and their execution times are not public), but the qualitative
+conclusions the paper draws from the table are asserted here:
+
+* a faster processor reduces the delay in every mode;
+* an additional processor never helps mode 2, always helps mode 1, and helps
+  mode 3 only for the 486;
+* an additional memory module never helps modes 2 and 3, and pays off for
+  mode 1 once both processors are Pentiums.
+"""
+
+import pytest
+
+from repro.atm import (
+    OAMArchitectureConfig,
+    PAPER_TABLE2,
+    build_all_modes,
+    build_oam_architecture,
+    candidate_mappings,
+    evaluate_mode,
+    evaluate_table2,
+    processor_speed,
+    table2_architecture_configs,
+    table2_delays,
+)
+from repro.graph import PathEnumerator
+from repro.simulation import validate_merge_result
+
+
+@pytest.fixture(scope="module")
+def table2():
+    """The full evaluated Table 2 (computed once for the whole module)."""
+    return table2_delays(evaluate_table2())
+
+
+class TestModeGraphs:
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_published_sizes_and_path_counts(self, index):
+        mode = build_all_modes()[index]
+        assert len(mode.graph.ordinary_processes) == mode.expected_processes
+        assert PathEnumerator(mode.graph).count() == mode.expected_paths
+
+    def test_modes_validate_structurally(self):
+        for mode in build_all_modes():
+            mode.graph.validate()
+
+    def test_every_process_is_tagged(self):
+        for mode in build_all_modes():
+            tagged = set(mode.cpu_groups) | set(mode.memory_groups)
+            assert tagged == {p.name for p in mode.graph.ordinary_processes}
+
+    def test_each_mode_has_memory_traffic(self):
+        for mode in build_all_modes():
+            assert mode.memory_processes
+
+
+class TestArchitectures:
+    def test_processor_speed_lookup(self):
+        assert processor_speed("486") == 1.0
+        assert processor_speed("Pentium") > 1.0
+        with pytest.raises(ValueError):
+            processor_speed("z80")
+
+    def test_build_architecture_shapes(self):
+        config = OAMArchitectureConfig(("486", "Pentium"), 2)
+        architecture = build_oam_architecture(config)
+        names = {pe.name for pe in architecture.programmable_processors}
+        assert names == {"cpu1", "cpu2", "mem1", "mem2"}
+        assert architecture["cpu2"].speed > architecture["cpu1"].speed
+
+    def test_invalid_architectures_rejected(self):
+        with pytest.raises(ValueError):
+            build_oam_architecture(OAMArchitectureConfig(("486",) * 3, 1))
+        with pytest.raises(ValueError):
+            build_oam_architecture(OAMArchitectureConfig(("486",), 3))
+
+    def test_table2_configs_cover_ten_columns(self):
+        configs = table2_architecture_configs()
+        assert len(configs) == 10
+        assert len({c.label for c in configs}) == 10
+        assert set(PAPER_TABLE2[1]) == {c.label for c in configs}
+
+    def test_candidate_mappings_cover_strategies(self):
+        mode = build_all_modes()[0]
+        architecture = build_oam_architecture(OAMArchitectureConfig(("486", "486"), 2))
+        candidates = candidate_mappings(mode, architecture)
+        strategies = {(cpu, mem) for cpu, mem, _ in candidates}
+        assert strategies == {
+            ("single", "single"),
+            ("single", "split"),
+            ("split", "single"),
+            ("split", "split"),
+        }
+
+    def test_single_resource_architecture_has_one_candidate(self):
+        mode = build_all_modes()[1]
+        architecture = build_oam_architecture(OAMArchitectureConfig(("486",), 1))
+        assert len(candidate_mappings(mode, architecture)) == 1
+
+
+class TestEvaluation:
+    def test_evaluate_mode_returns_valid_schedule(self):
+        mode = build_all_modes()[1]
+        evaluation = evaluate_mode(mode, OAMArchitectureConfig(("Pentium",), 1))
+        assert evaluation.worst_case_delay > 0
+        assert evaluation.result.delta_max == evaluation.worst_case_delay
+
+    def test_mode2_schedule_table_is_valid_end_to_end(self):
+        from repro.graph import expand_communications
+
+        mode = build_all_modes()[1]
+        architecture = build_oam_architecture(OAMArchitectureConfig(("486",), 1))
+        _, _, mapping = candidate_mappings(mode, architecture)[0]
+        expanded = expand_communications(mode.graph, mapping, architecture)
+        from repro.scheduling import ScheduleMerger
+
+        result = ScheduleMerger(expanded.graph, expanded.mapping, architecture).merge()
+        validate_merge_result(expanded.graph, expanded.mapping, result, architecture)
+
+
+class TestTable2Qualitative:
+    def test_faster_processor_always_reduces_delay(self, table2):
+        for mode in (1, 2, 3):
+            assert table2[mode]["1P/1M Pentium"] < table2[mode]["1P/1M 486"]
+            assert table2[mode]["2P/1M 2xPentium"] < table2[mode]["2P/1M 2x486"]
+
+    def test_mode2_insensitive_to_architecture(self, table2):
+        row = table2[2]
+        delays_486 = {row["1P/1M 486"], row["1P/2M 486"], row["2P/1M 2x486"], row["2P/2M 2x486"]}
+        delays_pent = {
+            row["1P/1M Pentium"],
+            row["1P/2M Pentium"],
+            row["2P/1M 2xPentium"],
+            row["2P/2M 2xPentium"],
+            row["2P/1M 486+Pentium"],
+            row["2P/2M 486+Pentium"],
+        }
+        assert len(delays_486) == 1
+        assert len(delays_pent) == 1
+
+    def test_second_processor_always_helps_mode1(self, table2):
+        row = table2[1]
+        assert row["2P/1M 2x486"] < row["1P/1M 486"]
+        assert row["2P/1M 2xPentium"] < row["1P/1M Pentium"]
+
+    def test_second_processor_never_helps_mode2(self, table2):
+        row = table2[2]
+        assert row["2P/1M 2x486"] == pytest.approx(row["1P/1M 486"])
+        assert row["2P/1M 2xPentium"] == pytest.approx(row["1P/1M Pentium"])
+
+    def test_second_processor_helps_mode3_only_for_486(self, table2):
+        row = table2[3]
+        assert row["2P/1M 2x486"] < row["1P/1M 486"]
+        assert row["2P/1M 2xPentium"] == pytest.approx(row["1P/1M Pentium"])
+
+    def test_memory_module_never_helps_modes_2_and_3(self, table2):
+        for mode in (2, 3):
+            row = table2[mode]
+            for one_mem, two_mem in [
+                ("1P/1M 486", "1P/2M 486"),
+                ("1P/1M Pentium", "1P/2M Pentium"),
+                ("2P/1M 2x486", "2P/2M 2x486"),
+                ("2P/1M 2xPentium", "2P/2M 2xPentium"),
+            ]:
+                assert row[two_mem] == pytest.approx(row[one_mem])
+
+    def test_memory_module_irrelevant_for_single_processor_mode1(self, table2):
+        row = table2[1]
+        assert row["1P/2M 486"] == pytest.approx(row["1P/1M 486"])
+        assert row["1P/2M Pentium"] == pytest.approx(row["1P/1M Pentium"])
+
+    def test_memory_module_pays_off_for_two_pentiums_mode1(self, table2):
+        row = table2[1]
+        assert row["2P/2M 2xPentium"] < row["2P/1M 2xPentium"]
+
+    def test_memory_module_roughly_neutral_for_two_486_mode1(self, table2):
+        row = table2[1]
+        relative_change = abs(row["2P/2M 2x486"] - row["2P/1M 2x486"]) / row["2P/1M 2x486"]
+        assert relative_change < 0.02
+
+    def test_mixed_processors_not_slower_than_two_486(self, table2):
+        for mode in (1, 2, 3):
+            assert table2[mode]["2P/1M 486+Pentium"] <= table2[mode]["2P/1M 2x486"] + 1e-6
+
+    def test_paper_reference_table_is_complete(self):
+        for mode in (1, 2, 3):
+            assert set(PAPER_TABLE2[mode]) == {c.label for c in table2_architecture_configs()}

@@ -1,0 +1,85 @@
+"""Tests for the baselines: ideal per-path delay, bounds, condition-blind schedule."""
+
+import pytest
+
+from repro.baselines import (
+    critical_path_length,
+    critical_path_lower_bound,
+    ideal_per_path_delay,
+    per_path_schedules,
+    schedule_unconditionally,
+    strip_conditions,
+)
+from repro.graph import PathEnumerator
+from repro.scheduling import ScheduleMerger
+
+
+class TestBounds:
+    def test_critical_path_on_small_system(self, small_system):
+        graph = small_system["expanded"].graph
+        mapping = small_system["expanded"].mapping
+        paths = PathEnumerator(graph).paths()
+        for path in paths:
+            length = critical_path_length(graph, mapping, path)
+            assert length > 0
+
+    def test_lower_bound_is_not_above_delta_m(self, small_system):
+        graph = small_system["expanded"].graph
+        mapping = small_system["expanded"].mapping
+        bound = critical_path_lower_bound(graph, mapping)
+        ideal = ideal_per_path_delay(graph, mapping)
+        assert bound <= ideal + 1e-9
+
+    def test_ideal_delay_matches_merger_delta_m(self, small_system):
+        graph = small_system["expanded"].graph
+        mapping = small_system["expanded"].mapping
+        result = ScheduleMerger(graph, mapping, small_system["architecture"]).merge()
+        assert ideal_per_path_delay(graph, mapping) == pytest.approx(result.delta_m)
+
+    def test_per_path_schedules_keyed_by_label(self, small_system):
+        graph = small_system["expanded"].graph
+        mapping = small_system["expanded"].mapping
+        schedules = per_path_schedules(graph, mapping)
+        assert set(schedules) == {"C", "!C"}
+        assert all(s.delay > 0 for s in schedules.values())
+
+    def test_fig1_bounds_bracket_delta_max(self, fig1, fig1_merge_result):
+        lower = critical_path_lower_bound(fig1.graph, fig1.expanded_mapping)
+        assert lower <= fig1_merge_result.delta_max + 1e-9
+
+
+class TestUnconditionalBaseline:
+    def test_strip_conditions_removes_conditional_edges(self, small_system):
+        flattened = strip_conditions(small_system["expanded"].graph)
+        assert not flattened.conditional_edges
+        assert len(flattened.processes) == len(small_system["expanded"].graph.processes)
+
+    def test_unconditional_schedule_covers_every_process(self, small_system):
+        baseline = schedule_unconditionally(
+            small_system["expanded"].graph,
+            small_system["expanded"].mapping,
+            small_system["architecture"],
+        )
+        executed = set(baseline.schedule.tasks)
+        for process in small_system["expanded"].graph.processes:
+            if not process.is_dummy:
+                assert process.name in executed
+
+    def test_unconditional_delay_at_least_delta_m(self, small_system):
+        # Executing both branches can never be faster than the slowest branch.
+        graph = small_system["expanded"].graph
+        mapping = small_system["expanded"].mapping
+        baseline = schedule_unconditionally(graph, mapping, small_system["architecture"])
+        assert baseline.delay >= ideal_per_path_delay(graph, mapping) - 1e-9
+
+    def test_unconditional_delay_at_least_delta_max_on_fig1(self, fig1, fig1_merge_result):
+        baseline = schedule_unconditionally(
+            fig1.graph, fig1.expanded_mapping, fig1.architecture
+        )
+        assert baseline.delay >= fig1_merge_result.delta_max - 1e-9
+
+    def test_baseline_respects_resources(self, fig1):
+        baseline = schedule_unconditionally(
+            fig1.graph, fig1.expanded_mapping, fig1.architecture
+        )
+        baseline.schedule.validate_resources()

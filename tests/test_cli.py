@@ -1,0 +1,63 @@
+"""Tests for the repro-cpg command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_system
+
+
+@pytest.fixture()
+def system_file(tmp_path, small_system):
+    path = tmp_path / "system.json"
+    save_system(
+        path,
+        small_system["graph"],
+        small_system["architecture"],
+        small_system["mapping"],
+        name="cli-demo",
+    )
+    return path
+
+
+def test_info_command(system_file, capsys):
+    assert main(["info", str(system_file)]) == 0
+    output = capsys.readouterr().out
+    assert "cli-demo" in output
+    assert "alternative paths: 2" in output
+    assert "pe1" in output
+
+
+def test_schedule_command(system_file, capsys):
+    assert main(["schedule", str(system_file)]) == 0
+    output = capsys.readouterr().out
+    assert "delta_M" in output and "delta_max" in output
+
+
+def test_schedule_command_with_table_and_validation(system_file, capsys):
+    assert main(["schedule", str(system_file), "--table", "--validate"]) == 0
+    output = capsys.readouterr().out
+    assert "process" in output
+    assert "validated 2 paths" in output
+
+
+def test_fig1_command(capsys):
+    assert main(["fig1"]) == 0
+    output = capsys.readouterr().out
+    assert "delta_max" in output
+    assert "validated 6 alternative paths" in output
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--nodes", "16", "--paths", "2", "3", "--graphs", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "16 nodes" in output
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_file_reported():
+    with pytest.raises(FileNotFoundError):
+        main(["info", "/nonexistent/system.json"])

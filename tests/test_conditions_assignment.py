@@ -1,0 +1,78 @@
+"""Unit tests for condition assignment helpers."""
+
+import pytest
+
+from repro.conditions import (
+    Condition,
+    Conjunction,
+    all_assignments,
+    assignment_from_literals,
+    conjunction_from_assignment,
+    extend_assignment,
+    is_extension_of,
+    literals_from_assignment,
+    restrict_assignment,
+)
+
+C = Condition("C")
+D = Condition("D")
+K = Condition("K")
+
+
+def test_assignment_from_literals_round_trip():
+    literals = [C.true(), D.false()]
+    assignment = assignment_from_literals(literals)
+    assert assignment == {C: True, D: False}
+    assert literals_from_assignment(assignment) == frozenset(literals)
+
+
+def test_assignment_from_literals_rejects_contradiction():
+    with pytest.raises(ValueError):
+        assignment_from_literals([C.true(), C.false()])
+
+
+def test_conjunction_from_assignment():
+    assert conjunction_from_assignment({C: True, K: False}) == Conjunction.of(
+        C.true(), K.false()
+    )
+
+
+def test_all_assignments_enumerates_every_combination():
+    assignments = list(all_assignments([C, D]))
+    assert len(assignments) == 4
+    assert {(a[C], a[D]) for a in assignments} == {
+        (False, False),
+        (False, True),
+        (True, False),
+        (True, True),
+    }
+
+
+def test_all_assignments_of_nothing_is_single_empty():
+    assert list(all_assignments([])) == [{}]
+
+
+def test_extend_assignment_adds_condition():
+    extended = extend_assignment({C: True}, D, False)
+    assert extended == {C: True, D: False}
+
+
+def test_extend_assignment_rejects_conflict():
+    with pytest.raises(ValueError):
+        extend_assignment({C: True}, C, False)
+
+
+def test_extend_assignment_is_idempotent_for_same_value():
+    assert extend_assignment({C: True}, C, True) == {C: True}
+
+
+def test_restrict_assignment():
+    assignment = {C: True, D: False, K: True}
+    assert restrict_assignment(assignment, [C, K]) == {C: True, K: True}
+
+
+def test_is_extension_of():
+    assert is_extension_of({C: True, D: False}, {C: True})
+    assert not is_extension_of({C: True}, {C: True, D: False})
+    assert not is_extension_of({C: False}, {C: True})
+    assert is_extension_of({}, {})

@@ -1,0 +1,179 @@
+"""Unit and property-based tests for sum-of-products boolean expressions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conditions import BoolExpr, Condition, Conjunction
+
+C = Condition("C")
+D = Condition("D")
+K = Condition("K")
+
+ALL_CONDITIONS = [C, D, K]
+
+
+def expr_of(*terms):
+    return BoolExpr([Conjunction(term) for term in terms])
+
+
+class TestBasics:
+    def test_true_and_false(self):
+        assert BoolExpr.true().is_true()
+        assert BoolExpr.false().is_false()
+        assert not BoolExpr.true().is_false()
+
+    def test_from_literal(self):
+        expr = BoolExpr.from_literal(C.true())
+        assert expr.evaluate({C: True})
+        assert not expr.evaluate({C: False})
+
+    def test_str_forms(self):
+        assert str(BoolExpr.true()) == "true"
+        assert str(BoolExpr.false()) == "false"
+        assert "C" in str(BoolExpr.from_literal(C.true()))
+
+    def test_absorption(self):
+        expr = expr_of([C.true()], [C.true(), D.true()])
+        assert expr.is_equivalent_to(BoolExpr.from_literal(C.true()))
+
+    def test_contradictory_product_dropped(self):
+        expr = BoolExpr.from_literal(C.true()).and_(BoolExpr.from_literal(C.false()))
+        assert expr.is_false()
+
+    def test_conditions_property(self):
+        expr = expr_of([C.true()], [D.false()])
+        assert expr.conditions == frozenset({C, D})
+
+
+class TestAlgebra:
+    def test_or_of_complementary_literals_is_true(self):
+        expr = BoolExpr.from_literal(C.true()) | BoolExpr.from_literal(C.false())
+        assert expr.is_equivalent_to(BoolExpr.true())
+
+    def test_and_distributes(self):
+        left = expr_of([C.true()], [C.false()])
+        right = BoolExpr.from_literal(D.true())
+        combined = left & right
+        assert combined.is_equivalent_to(BoolExpr.from_literal(D.true()))
+
+    def test_and_with_false_is_false(self):
+        assert (BoolExpr.from_literal(C.true()) & BoolExpr.false()).is_false()
+
+    def test_or_with_true_is_true(self):
+        assert (BoolExpr.from_literal(C.true()) | BoolExpr.true()).is_true()
+
+    def test_implies_reflexive(self):
+        expr = expr_of([C.true(), D.false()])
+        assert expr.implies(expr)
+
+    def test_implies_weakening(self):
+        specific = expr_of([C.true(), D.true()])
+        general = expr_of([C.true()])
+        assert specific.implies(general)
+        assert not general.implies(specific)
+
+    def test_false_implies_everything(self):
+        assert BoolExpr.false().implies(expr_of([K.true()]))
+
+    def test_mutual_exclusion(self):
+        assert expr_of([C.true()]).is_mutually_exclusive_with(expr_of([C.false()]))
+        assert not expr_of([C.true()]).is_mutually_exclusive_with(expr_of([D.true()]))
+
+    def test_covers_conjunction(self):
+        guard = expr_of([D.true(), K.true()])
+        assert guard.covers_conjunction(Conjunction.of(D.true(), K.true(), C.false()))
+        assert not guard.covers_conjunction(Conjunction.of(D.true()))
+
+    def test_equality_is_semantic(self):
+        left = expr_of([C.true()], [C.false(), D.true()])
+        right = expr_of([C.true()], [D.true()])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_satisfying_assignments(self):
+        expr = expr_of([C.true(), D.false()])
+        matches = list(expr.satisfying_assignments([C, D]))
+        assert {(a[C], a[D]) for a in matches} == {(True, False)}
+
+
+# -- property-based tests -----------------------------------------------------------
+
+literals = st.sampled_from(
+    [C.true(), C.false(), D.true(), D.false(), K.true(), K.false()]
+)
+
+
+@st.composite
+def conjunctions(draw):
+    chosen = draw(st.lists(literals, max_size=3))
+    consistent = {}
+    for literal in chosen:
+        consistent.setdefault(literal.condition, literal)
+    return Conjunction(consistent.values())
+
+
+@st.composite
+def expressions(draw):
+    terms = draw(st.lists(conjunctions(), max_size=4))
+    return BoolExpr(terms)
+
+
+def assignments():
+    return st.tuples(st.booleans(), st.booleans(), st.booleans()).map(
+        lambda bits: dict(zip(ALL_CONDITIONS, bits))
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions(), expressions(), assignments())
+def test_or_semantics(left, right, assignment):
+    assert (left | right).evaluate(assignment) == (
+        left.evaluate(assignment) or right.evaluate(assignment)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions(), expressions(), assignments())
+def test_and_semantics(left, right, assignment):
+    assert (left & right).evaluate(assignment) == (
+        left.evaluate(assignment) and right.evaluate(assignment)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions(), expressions())
+def test_implication_matches_evaluation(left, right):
+    implied = left.implies(right)
+    brute_force = all(
+        (not left.evaluate(dict(zip(ALL_CONDITIONS, bits))))
+        or right.evaluate(dict(zip(ALL_CONDITIONS, bits)))
+        for bits in [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+    )
+    assert implied == brute_force
+
+
+@settings(max_examples=60, deadline=None)
+@given(conjunctions(), conjunctions())
+def test_conjunction_exclusion_matches_expression_exclusion(left, right):
+    as_expr = BoolExpr.from_conjunction(left).is_mutually_exclusive_with(
+        BoolExpr.from_conjunction(right)
+    )
+    assert left.is_mutually_exclusive_with(right) == as_expr
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions())
+def test_expression_equivalent_to_itself_or_true_false(expr):
+    assert expr.is_equivalent_to(expr)
+    if expr.is_false():
+        assert not expr.is_satisfiable()
+    else:
+        assert expr.is_satisfiable()
+
+
+@pytest.mark.parametrize("value", [True, False])
+def test_single_condition_round_trip(value):
+    expr = BoolExpr.from_literal(C.literal(value))
+    assert expr.evaluate({C: value})
+    assert not expr.evaluate({C: not value})

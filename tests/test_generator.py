@@ -1,0 +1,178 @@
+"""Tests for the random system generator (structure plans and full systems)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator import (
+    GeneratorConfig,
+    RandomSystemGenerator,
+    branch,
+    distribute_sizes,
+    generate_system,
+    paper_experiment_configs,
+    plan_for_paths,
+    segment,
+    series,
+)
+from repro.graph import PathEnumerator
+
+
+class TestStructurePlan:
+    def test_segment_has_one_path(self):
+        assert segment().path_count == 1
+
+    def test_series_multiplies(self):
+        plan = series(branch(segment(), segment()), branch(segment(), segment()))
+        assert plan.path_count == 4
+
+    def test_branch_adds(self):
+        plan = branch(branch(segment(), segment()), segment())
+        assert plan.path_count == 3
+
+    def test_condition_count(self):
+        plan = series(branch(segment(), segment()), branch(segment(), segment()))
+        assert plan.condition_count() == 2
+
+    def test_segments_listing(self):
+        plan = series(segment(), branch(segment(), segment()))
+        assert len(plan.segments()) == 3
+
+    def test_describe(self):
+        assert "branch" in branch(segment(), segment()).describe()
+
+    @pytest.mark.parametrize("target", [1, 2, 3, 5, 10, 12, 18, 24, 32])
+    def test_plan_for_paths_hits_target_exactly(self, target):
+        rng = random.Random(42)
+        for _ in range(5):
+            assert plan_for_paths(target, rng).path_count == target
+
+    def test_plan_for_paths_rejects_zero(self):
+        with pytest.raises(ValueError):
+            plan_for_paths(0)
+
+    def test_distribute_sizes_spreads_budget(self):
+        rng = random.Random(7)
+        plan = plan_for_paths(10, rng)
+        distribute_sizes(plan, 60, rng)
+        segments = plan.segments()
+        assert all(seg.size >= 1 for seg in segments)
+        total = sum(seg.size for seg in segments) + 2 * plan.condition_count()
+        assert total >= 60 - len(segments)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=10**6))
+    def test_plan_for_paths_property(self, target, seed):
+        plan = plan_for_paths(target, random.Random(seed))
+        assert plan.path_count == target
+
+
+class TestGeneratorConfig:
+    def test_defaults_are_valid(self):
+        GeneratorConfig().validate()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"nodes": 1},
+            {"alternative_paths": 0},
+            {"execution_time_distribution": "gaussian"},
+            {"programmable_processors": 0},
+            {"buses": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, override):
+        config = GeneratorConfig(**override)
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestGeneratedSystems:
+    @pytest.mark.parametrize("paths", [1, 4, 10])
+    def test_path_count_matches_request(self, paths):
+        system = generate_system(24, paths, seed=paths)
+        assert system.alternative_path_count == paths
+
+    def test_node_count_close_to_request(self):
+        system = generate_system(60, 10, seed=3)
+        ordinary = len(system.process_graph.ordinary_processes)
+        assert 55 <= ordinary <= 70
+
+    def test_graph_is_valid_and_expanded(self):
+        system = generate_system(30, 6, seed=11)
+        system.process_graph.validate()
+        system.graph.validate()
+        from repro.graph import is_expanded
+
+        assert is_expanded(system.graph, system.expanded_mapping)
+
+    def test_every_ordinary_process_is_mapped(self):
+        system = generate_system(30, 6, seed=12)
+        for process in system.process_graph.ordinary_processes:
+            assert process.name in system.mapping
+
+    def test_determinism_per_seed(self):
+        first = generate_system(30, 6, seed=5)
+        second = generate_system(30, 6, seed=5)
+        assert first.process_graph.process_names == second.process_graph.process_names
+        assert [e.src for e in first.process_graph.edges] == [
+            e.src for e in second.process_graph.edges
+        ]
+        third = generate_system(30, 6, seed=6)
+        assert (
+            first.process_graph.process_names != third.process_graph.process_names
+            or [e.src for e in first.process_graph.edges]
+            != [e.src for e in third.process_graph.edges]
+        )
+
+    def test_exponential_distribution_supported(self):
+        system = generate_system(
+            25, 4, seed=9, execution_time_distribution="exponential"
+        )
+        times = [p.execution_time for p in system.process_graph.ordinary_processes]
+        assert all(t >= system.config.min_execution_time for t in times)
+
+    def test_communication_times_at_least_broadcast_time(self):
+        system = generate_system(25, 4, seed=10)
+        tau0 = system.config.condition_broadcast_time
+        for edge in system.process_graph.edges:
+            if not system.process_graph[edge.src].is_dummy and not system.process_graph[
+                edge.dst
+            ].is_dummy:
+                assert edge.communication_time >= tau0
+
+    def test_architecture_shape_follows_config(self):
+        config = GeneratorConfig(
+            nodes=20,
+            alternative_paths=2,
+            programmable_processors=4,
+            hardware_processors=2,
+            buses=3,
+            seed=1,
+        )
+        system = RandomSystemGenerator(config).generate()
+        assert len(system.architecture.programmable_processors) == 4
+        assert len(system.architecture.hardware_processors) == 2
+        assert len(system.architecture.buses) == 3
+
+
+class TestPaperExperimentConfigs:
+    def test_counts_and_parameters(self):
+        configs = paper_experiment_configs(60, graphs_per_setting=4, base_seed=1)
+        assert len(configs) == 4 * 5
+        assert {c.alternative_paths for c in configs} == {10, 12, 18, 24, 32}
+        assert all(1 <= c.programmable_processors <= 11 for c in configs)
+        assert all(1 <= c.buses <= 8 for c in configs)
+        distributions = {c.execution_time_distribution for c in configs}
+        assert distributions == {"uniform", "exponential"}
+
+    def test_custom_paths_options(self):
+        configs = paper_experiment_configs(60, 2, paths_options=[3, 4])
+        assert {c.alternative_paths for c in configs} == {3, 4}
+
+    def test_configs_generate_valid_systems(self):
+        config = paper_experiment_configs(30, 1, paths_options=[4])[0]
+        system = RandomSystemGenerator(config).generate()
+        assert PathEnumerator(system.graph).count() == 4

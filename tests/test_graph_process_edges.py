@@ -1,0 +1,90 @@
+"""Unit tests for process nodes and edges."""
+
+import pytest
+
+from repro.architecture import hardware, programmable
+from repro.conditions import Condition
+from repro.graph import (
+    Edge,
+    ProcessKind,
+    communication_process,
+    ordinary_process,
+    sink_process,
+    source_process,
+)
+
+C = Condition("C")
+
+
+class TestProcess:
+    def test_kinds_and_predicates(self):
+        assert source_process().is_source and source_process().is_dummy
+        assert sink_process().is_sink and sink_process().is_dummy
+        assert ordinary_process("P1", 2.0).is_ordinary
+        assert communication_process("c", 1.0).is_communication
+
+    def test_source_and_sink_have_zero_time(self):
+        assert source_process().execution_time == 0.0
+        with pytest.raises(ValueError):
+            from repro.graph.process import Process
+
+            Process("bad", 1.0, ProcessKind.SOURCE)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ordinary_process("P1", -1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ordinary_process("", 1.0)
+
+    def test_duration_scales_with_speed(self):
+        process = ordinary_process("P1", 10.0)
+        assert process.duration_on(programmable("slow", speed=1.0)) == 10.0
+        assert process.duration_on(programmable("fast", speed=2.0)) == 5.0
+
+    def test_duration_override_per_pe_is_not_scaled(self):
+        process = ordinary_process("P1", 10.0, execution_times={"fast": 7.0})
+        assert process.duration_on(programmable("fast", speed=2.0)) == 7.0
+        assert process.duration_on(programmable("other", speed=2.0)) == 5.0
+
+    def test_duration_without_pe_is_nominal(self):
+        assert ordinary_process("P1", 10.0).duration_on(None) == 10.0
+
+    def test_dummy_duration_is_zero_everywhere(self):
+        assert source_process().duration_on(hardware("hw")) == 0.0
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError):
+            ordinary_process("P1", 1.0, execution_times={"pe1": -2.0})
+
+    def test_conjunction_flag(self):
+        assert ordinary_process("P1", 1.0, is_conjunction=True).is_conjunction
+        assert not ordinary_process("P1", 1.0).is_conjunction
+
+    def test_str(self):
+        assert str(ordinary_process("P7", 1.0)) == "P7"
+
+
+class TestEdge:
+    def test_simple_and_conditional(self):
+        simple = Edge("P1", "P2")
+        conditional = Edge("P1", "P2", C.true())
+        assert simple.is_simple and not simple.is_conditional
+        assert conditional.is_conditional and not conditional.is_simple
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Edge("P1", "P1")
+
+    def test_negative_communication_time_rejected(self):
+        with pytest.raises(ValueError):
+            Edge("P1", "P2", communication_time=-1.0)
+
+    def test_str_shows_condition(self):
+        assert str(Edge("P1", "P2")) == "P1 -> P2"
+        assert str(Edge("P1", "P2", C.false())) == "P1 -[!C]-> P2"
+
+    def test_equality(self):
+        assert Edge("P1", "P2", C.true(), 2.0) == Edge("P1", "P2", C.true(), 2.0)
+        assert Edge("P1", "P2") != Edge("P1", "P3")

@@ -1,0 +1,111 @@
+"""Property-style tests of the merging algorithm over randomly generated systems.
+
+These are the library's strongest correctness checks: for a variety of random
+conditional process graphs, architectures and mappings, the generated schedule
+table must satisfy the paper's four requirements, execute correctly on the
+run-time simulator for every alternative path, and respect the analytic bounds
+(``delta_M <= delta_max <=`` condition-blind delay is *not* guaranteed by the
+paper, so only the lower bound is asserted).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import critical_path_lower_bound, ideal_per_path_delay
+from repro.generator import GeneratorConfig, RandomSystemGenerator
+from repro.graph import PathEnumerator
+from repro.scheduling import ScheduleMerger
+from repro.simulation import validate_merge_result
+
+
+def merge_generated(config: GeneratorConfig):
+    system = RandomSystemGenerator(config).generate()
+    merger = ScheduleMerger(system.graph, system.expanded_mapping, system.architecture)
+    return system, merger.merge()
+
+
+FIXED_CONFIGS = [
+    GeneratorConfig(nodes=18, alternative_paths=3, seed=101),
+    GeneratorConfig(nodes=24, alternative_paths=5, seed=202, buses=1),
+    GeneratorConfig(
+        nodes=24,
+        alternative_paths=6,
+        seed=303,
+        execution_time_distribution="exponential",
+        programmable_processors=2,
+    ),
+    GeneratorConfig(nodes=30, alternative_paths=8, seed=404, programmable_processors=4, buses=3),
+    GeneratorConfig(nodes=20, alternative_paths=4, seed=505, hardware_mapping_fraction=0.5),
+    GeneratorConfig(nodes=16, alternative_paths=2, seed=606, programmable_processors=1),
+]
+
+
+@pytest.mark.parametrize("config", FIXED_CONFIGS, ids=lambda c: f"seed{c.seed}")
+def test_merge_is_valid_for_generated_systems(config):
+    system, result = merge_generated(config)
+    report = validate_merge_result(
+        system.graph, system.expanded_mapping, result, system.architecture
+    )
+    assert report.paths_checked == config.alternative_paths
+    assert result.delta_max >= result.delta_m - 1e-9
+
+
+@pytest.mark.parametrize("config", FIXED_CONFIGS[:3], ids=lambda c: f"seed{c.seed}")
+def test_delta_m_equals_ideal_per_path_delay(config):
+    system, result = merge_generated(config)
+    ideal = ideal_per_path_delay(system.graph, system.expanded_mapping)
+    assert result.delta_m == pytest.approx(ideal)
+
+
+@pytest.mark.parametrize("config", FIXED_CONFIGS[:3], ids=lambda c: f"seed{c.seed}")
+def test_critical_path_bound_holds(config):
+    system, result = merge_generated(config)
+    bound = critical_path_lower_bound(system.graph, system.expanded_mapping)
+    assert result.delta_max >= bound - 1e-9
+
+
+@pytest.mark.parametrize("config", FIXED_CONFIGS[:2], ids=lambda c: f"seed{c.seed}")
+def test_every_path_delay_bounded_by_delta_max(config):
+    system, result = merge_generated(config)
+    for path in result.paths:
+        delay = result.table.delay_of_path(system.graph, system.expanded_mapping, path)
+        assert delay <= result.delta_max + 1e-9
+
+
+@pytest.mark.parametrize("config", FIXED_CONFIGS[:2], ids=lambda c: f"seed{c.seed}")
+def test_longest_path_not_disturbed(config):
+    # Section 6: the path with the largest delay is executed in exactly delta_M time.
+    system, result = merge_generated(config)
+    longest = max(result.path_schedules.values(), key=lambda s: s.delay)
+    table_delay = result.table.delay_of_path(
+        system.graph, system.expanded_mapping, longest.path
+    )
+    assert table_delay == pytest.approx(result.delta_m)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    paths=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    processors=st.integers(min_value=1, max_value=4),
+    buses=st.integers(min_value=1, max_value=3),
+)
+def test_randomised_systems_produce_deterministic_valid_tables(
+    paths, seed, processors, buses
+):
+    config = GeneratorConfig(
+        nodes=16,
+        alternative_paths=paths,
+        seed=seed,
+        programmable_processors=processors,
+        buses=buses,
+    )
+    system, result = merge_generated(config)
+    validate_merge_result(
+        system.graph, system.expanded_mapping, result, system.architecture
+    )
+    assert PathEnumerator(system.graph).count() == paths
+    # Re-running the whole pipeline must give the same worst-case delay.
+    _, again = merge_generated(config)
+    assert again.delta_max == pytest.approx(result.delta_max)

@@ -1,0 +1,51 @@
+"""Tests of the top-level public API surface."""
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_symbols_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_core_types_exported():
+    for name in (
+        "ConditionalProcessGraph",
+        "CPGBuilder",
+        "Condition",
+        "Conjunction",
+        "Architecture",
+        "Mapping",
+        "PathListScheduler",
+        "ScheduleMerger",
+        "ScheduleTable",
+        "RuntimeSimulator",
+        "load_fig1_example",
+    ):
+        assert name in repro.__all__
+
+
+def test_subpackages_importable():
+    import repro.analysis
+    import repro.atm
+    import repro.baselines
+    import repro.generator
+
+    assert hasattr(repro.generator, "generate_system")
+    assert hasattr(repro.atm, "evaluate_table2")
+    assert hasattr(repro.baselines, "ideal_per_path_delay")
+    assert hasattr(repro.analysis, "format_schedule_table")
+
+
+def test_docstring_mentions_the_paper():
+    assert "Conditional Process Graphs" in (repro.__doc__ or "")
+
+
+def test_quickstart_snippet_from_module_docstring_runs():
+    example = repro.load_fig1_example()
+    result = repro.ScheduleMerger(example.graph, example.expanded_mapping).merge()
+    assert result.delta_m > 0 and result.delta_max >= result.delta_m - 1e-9

@@ -1,0 +1,50 @@
+"""Additional tests for report formatting helpers and execution-trace access."""
+
+import pytest
+
+from repro.analysis.reporting import as_dict, format_series, format_table
+from repro.simulation.runtime import ExecutedActivity
+from repro.architecture import programmable
+
+
+def test_as_dict_indexes_rows_by_key_column():
+    rows = [["1P/1M", 4471, 1732], ["2P/1M", 2932, 1732]]
+    indexed = as_dict(rows)
+    assert indexed["1P/1M"][1] == 4471
+    assert set(indexed) == {"1P/1M", "2P/1M"}
+
+
+def test_as_dict_with_other_key_index():
+    rows = [["a", "x"], ["b", "y"]]
+    assert as_dict(rows, key_index=1)["y"][0] == "b"
+
+
+def test_format_table_mixes_text_and_numbers():
+    text = format_table("t", ["name", "value"], [["row", 1.5], ["other", "n/a"]])
+    assert "1.5" in text and "n/a" in text
+
+
+def test_format_series_custom_value_format():
+    text = format_series("s", "x", {"a": {1: 0.123456}}, value_format="{:.4f}")
+    assert "0.1235" in text
+
+
+def test_format_series_empty_series():
+    text = format_series("empty", "x", {})
+    assert "empty" in text
+
+
+def test_executed_activity_flags():
+    pe = programmable("pe1")
+    plain = ExecutedActivity("P1", 0.0, 2.0, pe)
+    assert not plain.is_broadcast
+    assert plain.end == 2.0
+
+
+def test_executed_activity_ordering_fields():
+    pe = programmable("pe1")
+    first = ExecutedActivity("A", 0.0, 1.0, pe)
+    second = ExecutedActivity("B", 1.0, 2.0, pe)
+    assert first.start < second.start
+    with pytest.raises(AttributeError):
+        first.start = 5.0  # frozen dataclass
