@@ -1,0 +1,80 @@
+"""Perf core — merge wall-time vs. process count on the scaling presets.
+
+Beyond the paper's Fig. 6 grid (which stops at 120-node graphs), this
+benchmark drives ``ScheduleMerger.merge`` across the ``LARGE_SCALE_PRESETS``
+random systems up to 480 generated nodes (~840 expanded processes) and
+compares each point against the frozen seed-implementation baseline recorded
+in ``scripts/run_benchmarks.py``.  The committed perf trajectory lives in
+``BENCH_core.json`` at the repository root; this module renders the same
+measurements through the benchmark harness so they land next to the other
+reproduced figures under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.generator import LARGE_SCALE_PRESETS, large_scale_system
+from repro.scheduling import ScheduleMerger
+
+from conftest import write_result
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from run_benchmarks import SEED_MERGE_SECONDS  # noqa: E402
+
+
+def measure_preset(preset: str, repeats: int = 3):
+    system = large_scale_system(preset)
+    best = float("inf")
+    for _ in range(repeats):
+        merger = ScheduleMerger(
+            system.graph, system.expanded_mapping, system.architecture
+        )
+        started = time.perf_counter()
+        merger.merge()
+        best = min(best, time.perf_counter() - started)
+    return len(system.graph), best
+
+
+def test_perf_core_merge_scaling(benchmark):
+    lines = [
+        "Perf core: ScheduleMerger.merge wall-time vs. process count",
+        "presets: LARGE_SCALE_PRESETS (60..480 generated nodes); best of 3",
+        "",
+        f"{'preset':>8} {'processes':>10} {'merge (s)':>10} {'seed (s)':>9} {'speedup':>8}",
+    ]
+    timings = {}
+    for preset in LARGE_SCALE_PRESETS:
+        processes, seconds = measure_preset(preset)
+        timings[preset] = seconds
+        seed_time = SEED_MERGE_SECONDS.get(preset)
+        seed_text = f"{seed_time:9.3f}" if seed_time else " " * 9
+        speedup = f"{seed_time / seconds:7.1f}x" if seed_time else " " * 8
+        lines.append(
+            f"{preset:>8} {processes:>10} {seconds:>10.4f} {seed_text} {speedup}"
+        )
+    lines += [
+        "",
+        "the committed trajectory (with the frozen seed baseline) is "
+        "BENCH_core.json; refresh it with scripts/run_benchmarks.py.",
+    ]
+    write_result("perf_core_merge_scaling", "\n".join(lines))
+
+    # Wall-time must keep growing sub-quadratically in the process count:
+    # doubling the generated nodes may not blow the merge up by more than
+    # the seed's observed ~3x-per-doubling growth.
+    assert timings["xlarge"] <= timings["large"] * 6 + 0.05
+    assert timings["large"] <= timings["medium"] * 8 + 0.05
+
+    # pytest-benchmark timing of the reference ("medium") workload.
+    system = large_scale_system("medium")
+
+    def merge_once():
+        return ScheduleMerger(
+            system.graph, system.expanded_mapping, system.architecture
+        ).merge()
+
+    benchmark(merge_once)

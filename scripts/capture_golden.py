@@ -1,0 +1,119 @@
+"""Capture golden schedule tables for the equivalence regression test.
+
+Runs ``merge_schedules`` on the Fig. 1 example, one ATM OAM mode and ten
+seeded random CPGs, and serialises every table entry (row, column, start,
+processing element) to ``tests/data/golden_tables.json``.  The recorded
+output pins down the exact tables the seed implementation produced; the
+golden test replays the same workloads and asserts byte-identical tables,
+so any scheduler or condition-algebra optimisation that changes results is
+caught immediately.
+
+Usage::
+
+    PYTHONPATH=src python scripts/capture_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.atm import build_mode1, build_oam_architecture, candidate_mappings
+from repro.atm.processors import table2_architecture_configs
+from repro.data import load_fig1_example
+from repro.generator import generate_system
+from repro.graph import expand_communications
+from repro.scheduling import ScheduleMerger
+
+OUTPUT = Path(__file__).resolve().parent.parent / "tests" / "data" / "golden_tables.json"
+
+#: The ten seeded random systems recorded in the golden file.
+RANDOM_CASES = [
+    {"nodes": 40 + 10 * i, "alternative_paths": 4 + (i % 4) * 2, "seed": i}
+    for i in range(10)
+]
+
+
+def serialize_table(result) -> dict:
+    """Deterministic JSON form of a merge result's schedule table."""
+    table = result.table
+    process_rows = {}
+    for name in sorted(table.process_names):
+        entries = sorted(
+            table.process_entries(name), key=lambda e: (e.start, str(e.column))
+        )
+        process_rows[name] = [
+            {
+                "column": str(entry.column),
+                "start": round(entry.start, 6),
+                "pe": entry.pe.name if entry.pe is not None else None,
+            }
+            for entry in entries
+        ]
+    condition_rows = {}
+    for condition in sorted(table.conditions, key=str):
+        entries = sorted(
+            table.condition_entries(condition), key=lambda e: (e.start, str(e.column))
+        )
+        condition_rows[str(condition)] = [
+            {
+                "column": str(entry.column),
+                "start": round(entry.start, 6),
+                "pe": entry.pe.name if entry.pe is not None else None,
+            }
+            for entry in entries
+        ]
+    return {
+        "process_rows": process_rows,
+        "condition_rows": condition_rows,
+        "delta_m": round(result.delta_m, 6),
+        "delta_max": round(result.delta_max, 6),
+    }
+
+
+def merge_fig1():
+    example = load_fig1_example()
+    return ScheduleMerger(
+        example.graph, example.expanded_mapping, example.architecture
+    ).merge()
+
+
+def merge_atm():
+    mode = build_mode1()
+    config = table2_architecture_configs()[0]
+    architecture = build_oam_architecture(config)
+    _, _, mapping = candidate_mappings(mode, architecture)[0]
+    expanded = expand_communications(mode.graph, mapping, architecture)
+    return ScheduleMerger(expanded.graph, expanded.mapping, architecture).merge()
+
+
+def merge_random(case: dict):
+    system = generate_system(**case)
+    return ScheduleMerger(
+        system.graph, system.expanded_mapping, system.architecture
+    ).merge()
+
+
+def capture() -> dict:
+    golden = {"fig1": serialize_table(merge_fig1()), "atm_mode1": serialize_table(merge_atm())}
+    for case in RANDOM_CASES:
+        key = f"random_n{case['nodes']}_p{case['alternative_paths']}_s{case['seed']}"
+        golden[key] = serialize_table(merge_random(case))
+    return golden
+
+
+def main() -> None:
+    golden = capture()
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    total = sum(
+        len(entries)
+        for case in golden.values()
+        for rows in (case["process_rows"], case["condition_rows"])
+        for entries in rows.values()
+    )
+    print(f"wrote {OUTPUT} ({len(golden)} workloads, {total} table entries)")
+
+
+if __name__ == "__main__":
+    main()

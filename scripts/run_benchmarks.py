@@ -1,0 +1,204 @@
+"""Perf-core benchmark harness: merge wall-time vs. process count.
+
+Measures ``ScheduleMerger.merge`` on the :data:`LARGE_SCALE_PRESETS` random
+systems (60 to 480 generated nodes, i.e. up to ~840 expanded processes) and
+writes ``BENCH_core.json`` at the repository root.  Every record carries both
+the frozen seed-implementation timing (measured once at the pre-optimisation
+commit, on the same grid) and the current timing, so the file is a perf
+trajectory every later PR can extend and regress against.
+
+Modes::
+
+    PYTHONPATH=src python scripts/run_benchmarks.py            # measure + rewrite BENCH_core.json
+    PYTHONPATH=src python scripts/run_benchmarks.py --check    # exit 1 on >25% regression
+
+``--check`` re-measures the reference workload only and fails (exit 1) when
+its merge time regresses more than ``--tolerance`` (default 0.25) against the
+committed baseline.  The limit is scaled by a host-speed calibration (a fixed
+pure-Python workload timed both at baseline capture and at check time), so a
+machine slower than the baseline host is not flagged as a regression.  The
+check is also wired into tier-1 as a pytest smoke test
+(``tests/test_perf_regression.py``) with a relaxed factor, so a catastrophic
+slowdown fails the ordinary test run while timer noise on a busy machine does
+not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = ROOT / "BENCH_core.json"
+
+#: Merge wall-time of the seed implementation (best of 3, measured on the
+#: same presets/host at the commit immediately before the bitmask +
+#: incremental-scheduler rework).  Frozen so speedups stay comparable.
+SEED_MERGE_SECONDS = {
+    "small": 0.054,
+    "medium": 0.211,
+    "large": 1.306,
+    "xlarge": 4.106,
+}
+
+DEFAULT_REFERENCE = "medium"
+DEFAULT_TOLERANCE = 0.25
+
+
+def _calibrate(repeats: int = 3) -> float:
+    """Wall-time of a fixed pure-Python workload, proxying host speed.
+
+    Recorded next to the baseline timings so ``check`` can scale its limit on
+    hosts slower than the one that produced the baseline, instead of flagging
+    a phantom regression.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        total = 0
+        for i in range(400_000):
+            total += i * i
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure(preset: str, repeats: int) -> dict:
+    from repro.generator import LARGE_SCALE_PRESETS, large_scale_system
+    from repro.scheduling import ScheduleMerger
+
+    system = large_scale_system(preset)  # raises a named KeyError on bad presets
+    config = LARGE_SCALE_PRESETS[preset]
+    best = float("inf")
+    for _ in range(repeats):
+        merger = ScheduleMerger(
+            system.graph, system.expanded_mapping, system.architecture
+        )
+        started = time.perf_counter()
+        merger.merge()
+        best = min(best, time.perf_counter() - started)
+    record = {
+        "nodes": config.nodes,
+        "alternative_paths": config.alternative_paths,
+        "seed": config.seed,
+        "expanded_processes": len(system.graph),
+        "merge_seconds": round(best, 4),
+    }
+    seed_time = SEED_MERGE_SECONDS.get(preset)
+    if seed_time is not None:
+        record["seed_merge_seconds"] = seed_time
+        record["speedup_vs_seed"] = round(seed_time / best, 2)
+    return record
+
+
+def run(output: Path, presets, repeats: int) -> dict:
+    workloads = {}
+    for preset in presets:
+        workloads[preset] = _measure(preset, repeats)
+        rec = workloads[preset]
+        speedup = rec.get("speedup_vs_seed")
+        extra = f"  ({speedup}x vs seed)" if speedup else ""
+        print(
+            f"{preset:>8}: {rec['expanded_processes']:>4} processes, "
+            f"merge {rec['merge_seconds']:.4f}s{extra}"
+        )
+    payload = {
+        "description": (
+            "ScheduleMerger.merge wall-time on the LARGE_SCALE_PRESETS random "
+            "systems; seed_merge_seconds is the frozen pre-optimisation "
+            "baseline. Regenerate with scripts/run_benchmarks.py; check with "
+            "--check."
+        ),
+        "reference": DEFAULT_REFERENCE,
+        "tolerance": DEFAULT_TOLERANCE,
+        "calibration_seconds": round(_calibrate(), 4),
+        "workloads": workloads,
+    }
+    output.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {output}")
+    return payload
+
+
+def check(
+    baseline_path: Path,
+    reference: str | None = None,
+    tolerance: float | None = None,
+    repeats: int = 3,
+) -> str | None:
+    """Compare the reference workload against the committed baseline.
+
+    Returns None when within tolerance, an explanatory message otherwise.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    reference = reference or baseline.get("reference", DEFAULT_REFERENCE)
+    tolerance = tolerance if tolerance is not None else baseline.get(
+        "tolerance", DEFAULT_TOLERANCE
+    )
+    committed = baseline["workloads"][reference]["merge_seconds"]
+    measured = _measure(reference, repeats)["merge_seconds"]
+    # Normalise for host speed: a machine 2x slower than the baseline host is
+    # allowed 2x the time.  Faster hosts keep the unscaled limit (scale >= 1)
+    # so a regression cannot hide behind fast hardware.
+    scale = 1.0
+    baseline_calibration = baseline.get("calibration_seconds")
+    if baseline_calibration:
+        scale = max(1.0, _calibrate() / baseline_calibration)
+    limit = committed * (1.0 + tolerance) * scale
+    verdict = "ok" if measured <= limit else "REGRESSION"
+    scale_text = f", host scale x{scale:.2f}" if scale > 1.0 else ""
+    print(
+        f"{reference}: measured {measured:.4f}s vs baseline {committed:.4f}s "
+        f"(limit {limit:.4f}s at +{tolerance:.0%}{scale_text}) -> {verdict}"
+    )
+    if measured > limit:
+        return (
+            f"merge time on {reference!r} regressed: {measured:.4f}s > "
+            f"{committed:.4f}s * {1.0 + tolerance:.2f} * host scale {scale:.2f}"
+        )
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed BENCH_core.json instead of rewriting it",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--presets",
+        default="small,medium,large,xlarge",
+        help="comma-separated preset names (see repro.generator.LARGE_SCALE_PRESETS)",
+    )
+    parser.add_argument(
+        "--reference", default=None, help="preset used by --check (default: from baseline)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional regression for --check (default: from baseline, 0.25)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repetitions")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.check:
+            failure = check(args.baseline, args.reference, args.tolerance, args.repeats)
+            if failure:
+                print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            return 0
+        run(args.output, [p for p in args.presets.split(",") if p], args.repeats)
+        return 0
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,14 +25,24 @@ from .assignment import (
 from .conjunction import Conjunction, ContradictionError
 from .expressions import BoolExpr
 from .literals import Condition, Literal, conditions_of
+from .universe import (
+    DEFAULT_UNIVERSE,
+    ConditionUniverse,
+    condition_bit,
+    masks_from_assignment,
+)
 
 __all__ = [
     "Assignment",
     "BoolExpr",
     "Condition",
+    "ConditionUniverse",
     "Conjunction",
     "ContradictionError",
+    "DEFAULT_UNIVERSE",
     "Literal",
+    "condition_bit",
+    "masks_from_assignment",
     "all_assignments",
     "assignment_from_literals",
     "conditions_of",

@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
 
 from .conjunction import Conjunction
 from .literals import Condition, Literal
+from .universe import masks_from_assignment
 
 
 class BoolExpr:
@@ -32,10 +33,13 @@ class BoolExpr:
     minimised: contradictory terms dropped and absorbed terms removed).
     """
 
-    __slots__ = ("_terms",)
+    __slots__ = ("_terms", "_conditions", "_is_true", "_hash")
 
     def __init__(self, terms: Iterable[Conjunction] = ()) -> None:
         self._terms: FrozenSet[Conjunction] = _minimise(terms)
+        self._conditions = None
+        self._is_true = None
+        self._hash = None
 
     # -- constructors -----------------------------------------------------
 
@@ -63,10 +67,12 @@ class BoolExpr:
 
     @property
     def conditions(self) -> FrozenSet[Condition]:
-        result: set = set()
-        for term in self._terms:
-            result.update(term.conditions)
-        return frozenset(result)
+        if self._conditions is None:
+            result: set = set()
+            for term in self._terms:
+                result.update(term.conditions)
+            self._conditions = frozenset(result)
+        return self._conditions
 
     def __iter__(self) -> Iterator[Conjunction]:
         return iter(sorted(self._terms, key=str))
@@ -79,12 +85,14 @@ class BoolExpr:
     def __hash__(self) -> int:
         # Hash on the set of variables plus truth over a canonical enumeration
         # so that semantically equal expressions hash equally.
-        variables = tuple(sorted(self.conditions))
-        truth: Tuple[bool, ...] = tuple(
-            self.evaluate(dict(zip(variables, values)))
-            for values in itertools.product((False, True), repeat=len(variables))
-        )
-        return hash((variables, truth))
+        if self._hash is None:
+            variables = tuple(sorted(self.conditions))
+            truth: Tuple[bool, ...] = tuple(
+                self.evaluate(dict(zip(variables, values)))
+                for values in itertools.product((False, True), repeat=len(variables))
+            )
+            self._hash = hash((variables, truth))
+        return self._hash
 
     def __str__(self) -> str:
         if not self._terms:
@@ -103,14 +111,23 @@ class BoolExpr:
         return not self._terms
 
     def is_true(self) -> bool:
-        """True when the expression holds under every assignment (a tautology)."""
-        if any(term.is_true() for term in self._terms):
-            return True
-        if not self._terms:
-            return False
-        return all(
-            self.evaluate(assignment) for assignment in self._assignments(self.conditions)
-        )
+        """True when the expression holds under every assignment (a tautology).
+
+        The verdict is cached: guards are queried once per dispatch decision
+        by the list scheduler, and the truth-table enumeration would otherwise
+        dominate large merges.
+        """
+        if self._is_true is None:
+            if any(term.is_true() for term in self._terms):
+                self._is_true = True
+            elif not self._terms:
+                self._is_true = False
+            else:
+                self._is_true = all(
+                    self.evaluate(assignment)
+                    for assignment in self._assignments(self.conditions)
+                )
+        return self._is_true
 
     # -- algebra -----------------------------------------------------------
 
@@ -143,7 +160,14 @@ class BoolExpr:
 
     def satisfied_by_partial(self, assignment: Mapping[Condition, bool]) -> bool:
         """True when some term is fully assigned and satisfied."""
-        return any(term.satisfied_by_partial(assignment) for term in self._terms)
+        pos, neg = masks_from_assignment(assignment)
+        return self.satisfied_by_masks(pos, neg)
+
+    def satisfied_by_masks(self, pos_mask: int, neg_mask: int) -> bool:
+        """Mask form of :meth:`satisfied_by_partial`: two probes per term."""
+        return any(
+            term.satisfied_by_masks(pos_mask, neg_mask) for term in self._terms
+        )
 
     def is_satisfiable(self) -> bool:
         return bool(self._terms)

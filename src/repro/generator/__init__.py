@@ -1,10 +1,12 @@
 """Random workload generation (the substrate of the paper's Fig. 5/6 experiments)."""
 
 from .random_cpg import (
+    LARGE_SCALE_PRESETS,
     GeneratedSystem,
     GeneratorConfig,
     RandomSystemGenerator,
     generate_system,
+    large_scale_system,
     paper_experiment_configs,
 )
 from .structure import (
@@ -19,11 +21,13 @@ from .structure import (
 __all__ = [
     "GeneratedSystem",
     "GeneratorConfig",
+    "LARGE_SCALE_PRESETS",
     "RandomSystemGenerator",
     "StructurePlan",
     "branch",
     "distribute_sizes",
     "generate_system",
+    "large_scale_system",
     "paper_experiment_configs",
     "plan_for_paths",
     "segment",

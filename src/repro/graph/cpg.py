@@ -14,7 +14,13 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
-from ..conditions import BoolExpr, Condition, Conjunction, Literal
+from ..conditions import (
+    BoolExpr,
+    Condition,
+    Conjunction,
+    Literal,
+    masks_from_assignment,
+)
 from .edges import Edge
 from .process import Process, ProcessKind
 
@@ -32,6 +38,7 @@ class ConditionalProcessGraph:
         self._processes: Dict[str, Process] = {}
         self._edges: Dict[Tuple[str, str], Edge] = {}
         self._guard_cache: Optional[Dict[str, BoolExpr]] = None
+        self._topo_cache: Optional[List[str]] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -72,6 +79,7 @@ class ConditionalProcessGraph:
 
     def _invalidate_caches(self) -> None:
         self._guard_cache = None
+        self._topo_cache = None
 
     def _find_kind(self, kind: ProcessKind) -> Optional[Process]:
         for process in self._processes.values():
@@ -154,8 +162,13 @@ class ConditionalProcessGraph:
         return tuple(self._edges[(name, dst)] for dst in self._graph.successors(name))
 
     def topological_order(self) -> List[str]:
-        """Return process names in a deterministic topological order."""
-        return list(nx.lexicographical_topological_sort(self._graph))
+        """Return process names in a deterministic topological order (cached)."""
+        return list(self._topological_order_internal())
+
+    def _topological_order_internal(self) -> List[str]:
+        if self._topo_cache is None:
+            self._topo_cache = list(nx.lexicographical_topological_sort(self._graph))
+        return self._topo_cache
 
     def to_networkx(self) -> nx.DiGraph:
         """Return a copy of the underlying networkx graph with attached attributes."""
@@ -251,8 +264,12 @@ class ConditionalProcessGraph:
         conjunction node takes the OR of its incoming edge guards, any other
         node the AND.
         """
+        return dict(self._guards_internal())
+
+    def _guards_internal(self) -> Dict[str, BoolExpr]:
+        """The cached guard dict itself (callers must not mutate it)."""
         if self._guard_cache is not None:
-            return dict(self._guard_cache)
+            return self._guard_cache
         guards: Dict[str, BoolExpr] = {}
         explicit_conjunctions = {
             name for name, proc in self._processes.items() if proc.is_conjunction
@@ -285,7 +302,7 @@ class ConditionalProcessGraph:
             # otherwise accumulate tautological terms (C | !C) and every later
             # guard combination and query would grow multiplicatively.
             guards[name] = combined.simplified()
-        self._guard_cache = dict(guards)
+        self._guard_cache = guards
         return guards
 
     def guard_of(self, name: str) -> BoolExpr:
@@ -309,12 +326,12 @@ class ConditionalProcessGraph:
 
     def active_processes(self, assignment: Mapping[Condition, bool]) -> Tuple[str, ...]:
         """Names of processes activated under the given (complete) assignment."""
-        guards = self.guards()
+        guards = self._guards_internal()
+        pos, neg = masks_from_assignment(assignment)
         return tuple(
             name
-            for name in self.topological_order()
-            if guards[name].satisfied_by_partial(assignment)
-            or guards[name].is_true()
+            for name in self._topological_order_internal()
+            if guards[name].satisfied_by_masks(pos, neg) or guards[name].is_true()
         )
 
     def active_predecessors(
@@ -327,10 +344,10 @@ class ConditionalProcessGraph:
         conjunction processes this selects exactly the predecessors on the
         active alternative path.
         """
-        guards = self.guards()
+        guards = self._guards_internal()
         active = []
         for edge in self.in_edges(name):
-            if edge.is_conditional and not edge.condition.evaluate(dict(assignment)):
+            if edge.is_conditional and not edge.condition.evaluate(assignment):
                 continue
             src_guard = guards[edge.src]
             if src_guard.is_true() or src_guard.satisfied_by_partial(assignment):

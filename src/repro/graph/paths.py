@@ -11,9 +11,9 @@ associated subgraph ``G_k``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
 
-from ..conditions import Assignment, Condition, Conjunction
+from ..conditions import Assignment, Condition, Conjunction, masks_from_assignment
 from .cpg import ConditionalProcessGraph
 
 
@@ -57,28 +57,59 @@ class PathEnumerator:
         self._graph = graph
         self._guards = graph.guards()
         self._disjunctions = graph.disjunction_processes()
-        self._paths: Optional[List[AlternativePath]] = None
+        self._paths: Optional[Tuple[AlternativePath, ...]] = None
+        self._index: Optional[
+            Dict[FrozenSet[Tuple[Condition, bool]], AlternativePath]
+        ] = None
+        self._label_condition_sets: Tuple[FrozenSet[Condition], ...] = ()
+        self._topological_order = graph.topological_order()
+        self._active_cache: Dict[Tuple[int, int], Tuple[str, ...]] = {}
 
     @property
     def graph(self) -> ConditionalProcessGraph:
         return self._graph
 
-    def paths(self) -> List[AlternativePath]:
-        """Return all alternative paths (computed once, then cached)."""
+    def paths(self) -> Tuple[AlternativePath, ...]:
+        """Return all alternative paths (computed once; the tuple is cached).
+
+        Returning the cached tuple (rather than a fresh list copy) makes the
+        call free for the schedulers, which re-query the enumeration often.
+        """
         if self._paths is None:
-            self._paths = list(self._enumerate())
-        return list(self._paths)
+            self._paths = tuple(self._enumerate())
+        return self._paths
 
     def count(self) -> int:
         """The number ``N_alt`` of alternative paths."""
         return len(self.paths())
 
     def path_for(self, assignment: Mapping[Condition, bool]) -> AlternativePath:
-        """Return the alternative path selected by a complete condition assignment."""
-        for path in self.paths():
-            if path.label.consistent_with_partial(assignment) and all(
-                condition in assignment for condition in path.label.conditions
-            ):
+        """Return the alternative path selected by a complete condition assignment.
+
+        Lookups are indexed: labels are keyed on their frozen condition-value
+        pairs, so resolving an assignment costs one dict probe per distinct
+        label condition set (of which a graph has very few) instead of a scan
+        over all ``N_alt`` paths.
+        """
+        if self._index is None:
+            index: Dict[FrozenSet[Tuple[Condition, bool]], AlternativePath] = {}
+            condition_sets: List[FrozenSet[Condition]] = []
+            for path in self.paths():
+                items = frozenset(path.label.as_assignment().items())
+                index.setdefault(items, path)
+                conditions = path.label.conditions
+                if conditions not in condition_sets:
+                    condition_sets.append(conditions)
+            self._index = index
+            self._label_condition_sets = tuple(condition_sets)
+        for conditions in self._label_condition_sets:
+            if not all(condition in assignment for condition in conditions):
+                continue
+            key = frozenset(
+                (condition, bool(assignment[condition])) for condition in conditions
+            )
+            path = self._index.get(key)
+            if path is not None:
                 return path
         raise KeyError(f"no alternative path matches assignment {assignment}")
 
@@ -109,12 +140,26 @@ class PathEnumerator:
         return relevant
 
     def _active_under(self, assignment: Assignment) -> Tuple[str, ...]:
-        return tuple(
-            name
-            for name in self._graph.topological_order()
-            if self._guards[name].is_true()
-            or self._guards[name].satisfied_by_partial(assignment)
-        )
+        """Active process names under a complete assignment of relevant conditions.
+
+        Guard evaluation goes through the bitmask fast path: the assignment is
+        folded to a ``(pos, neg)`` mask pair once and every guard term check is
+        then two integer probes.  Results are memoized by mask pair, since the
+        depth-first enumeration revisits identical leaf assignments when
+        labels share prefixes.
+        """
+        key = masks_from_assignment(assignment)
+        cached = self._active_cache.get(key)
+        if cached is None:
+            pos, neg = key
+            cached = tuple(
+                name
+                for name in self._topological_order
+                if self._guards[name].is_true()
+                or self._guards[name].satisfied_by_masks(pos, neg)
+            )
+            self._active_cache[key] = cached
+        return cached
 
     def _enumerate(self) -> Iterator[AlternativePath]:
         counter = {"index": 0}
@@ -142,7 +187,7 @@ class PathEnumerator:
         yield from recurse({})
 
 
-def enumerate_paths(graph: ConditionalProcessGraph) -> List[AlternativePath]:
+def enumerate_paths(graph: ConditionalProcessGraph) -> Tuple[AlternativePath, ...]:
     """Convenience wrapper returning all alternative paths of a graph."""
     return PathEnumerator(graph).paths()
 

@@ -17,10 +17,21 @@ executes processes in parallel, and computation overlaps with communication.
 After a disjunction process terminates, the value of its condition is
 broadcast on the first available bus connected to all processors
 (duration ``tau0``).
+
+The dispatch engine is incremental: ready processes live in priority heaps
+(so each dispatch decision is O(log n) instead of a rescan of every remaining
+process), resource timelines keep their busy intervals sorted with
+``bisect.insort`` and binary-search the first interval that can interfere
+with a slot query, and the per-path dependency structure (active set,
+durations, predecessor/successor maps, critical-path priorities) is computed
+once and reused across the many re-adjustment calls the schedule merger
+makes for the same path.
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left, insort
 from typing import Dict, List, Optional, Tuple
 
 from ..architecture.architecture import Architecture
@@ -33,6 +44,7 @@ from .priorities import critical_path_priorities
 from .schedule import PathSchedule, ScheduledTask
 
 _EPSILON = 1e-9
+_INFINITY = float("inf")
 
 
 class SchedulingError(RuntimeError):
@@ -40,23 +52,39 @@ class SchedulingError(RuntimeError):
 
 
 class _ResourceTimeline:
-    """Occupied intervals of one sequential processing element."""
+    """Occupied intervals of one sequential processing element.
+
+    Intervals are kept sorted by insertion (``bisect.insort``); slot queries
+    binary-search the first interval that could still overlap the requested
+    start instead of scanning from the beginning.  ``_max_length`` bounds how
+    far before the requested time an interval may begin and still reach it,
+    which makes the binary-searched lower bound exact.
+    """
+
+    __slots__ = ("_intervals", "_max_length")
 
     def __init__(self) -> None:
         self._intervals: List[Tuple[float, float]] = []
+        self._max_length = 0.0
 
     def reserve(self, start: float, end: float) -> None:
         if end - start <= _EPSILON:
             return
-        self._intervals.append((start, end))
-        self._intervals.sort()
+        insort(self._intervals, (start, end))
+        if end - start > self._max_length:
+            self._max_length = end - start
 
     def earliest_slot(self, ready: float, duration: float) -> float:
         """Earliest start >= ready such that [start, start+duration) is free."""
         if duration <= _EPSILON:
             return ready
+        intervals = self._intervals
         start = ready
-        for busy_start, busy_end in self._intervals:
+        # Any interval starting before ready - max_length has already ended by
+        # ``ready`` and can never constrain the slot; skip it wholesale.
+        index = bisect_left(intervals, (ready - self._max_length,))
+        for position in range(index, len(intervals)):
+            busy_start, busy_end = intervals[position]
             if busy_end <= start + _EPSILON:
                 continue
             if busy_start >= start + duration - _EPSILON:
@@ -66,6 +94,31 @@ class _ResourceTimeline:
 
     def intervals(self) -> List[Tuple[float, float]]:
         return list(self._intervals)
+
+
+class _PathContext:
+    """Per-path scheduling structure, computed once and reused across calls."""
+
+    __slots__ = (
+        "active",
+        "active_set",
+        "durations",
+        "pes",
+        "predecessors",
+        "successors",
+        "base_indegree",
+        "default_priorities",
+    )
+
+    def __init__(self) -> None:
+        self.active: Tuple[str, ...] = ()
+        self.active_set: frozenset = frozenset()
+        self.durations: Dict[str, float] = {}
+        self.pes: Dict[str, Optional[ProcessingElement]] = {}
+        self.predecessors: Dict[str, Tuple[str, ...]] = {}
+        self.successors: Dict[str, Tuple[str, ...]] = {}
+        self.base_indegree: Dict[str, int] = {}
+        self.default_priorities: Optional[Dict[str, float]] = None
 
 
 class PathListScheduler:
@@ -80,6 +133,11 @@ class PathListScheduler:
         Mapping of every non-dummy process to its processing element.
     architecture:
         The target architecture (provides buses and ``tau0``).
+
+    The scheduler caches the dependency structure and default priorities of
+    every path it sees, keyed on the path's label and active set; it assumes
+    the graph and the mapping do not change between calls (build a new
+    scheduler after remapping).
     """
 
     def __init__(
@@ -93,8 +151,39 @@ class PathListScheduler:
         self._architecture = architecture or mapping.architecture
         self._disjunctions = graph.disjunction_processes()
         self._guards = graph.guards()
+        self._path_cache: Dict[tuple, _PathContext] = {}
 
     # -- public API -------------------------------------------------------------
+
+    def _context_for(self, path: AlternativePath) -> _PathContext:
+        key = (path.label, path.active_processes)
+        context = self._path_cache.get(key)
+        if context is not None:
+            return context
+        context = _PathContext()
+        context.active = tuple(path.active_processes)
+        context.active_set = frozenset(context.active)
+        for name in context.active:
+            process = self._graph[name]
+            pe = None if process.is_dummy else self._mapping.get(name)
+            if pe is None and not process.is_dummy:
+                raise SchedulingError(f"process {name!r} is not mapped")
+            context.pes[name] = pe
+            context.durations[name] = process.duration_on(pe)
+        successors: Dict[str, List[str]] = {name: [] for name in context.active}
+        for name in context.active:
+            preds = tuple(
+                pred
+                for pred in self._graph.active_predecessors(name, path.assignment)
+                if pred in context.active_set
+            )
+            context.predecessors[name] = preds
+            context.base_indegree[name] = len(preds)
+            for pred in preds:
+                successors[pred].append(name)
+        context.successors = {name: tuple(succ) for name, succ in successors.items()}
+        self._path_cache[key] = context
+        return context
 
     def schedule(
         self,
@@ -115,29 +204,19 @@ class PathListScheduler:
         """
         locked_starts = dict(locked_starts or {})
         locked_broadcasts = dict(locked_broadcasts or {})
+        context = self._context_for(path)
         if priorities is None:
-            priorities = critical_path_priorities(self._graph, path, self._mapping)
+            if context.default_priorities is None:
+                context.default_priorities = critical_path_priorities(
+                    self._graph, path, self._mapping
+                )
+            priorities = context.default_priorities
 
-        active = list(path.active_processes)
-        active_set = set(active)
-        durations: Dict[str, float] = {}
-        pes: Dict[str, Optional[ProcessingElement]] = {}
-        for name in active:
-            process = self._graph[name]
-            pe = None if process.is_dummy else self._mapping.get(name)
-            if pe is None and not process.is_dummy:
-                raise SchedulingError(f"process {name!r} is not mapped")
-            pes[name] = pe
-            durations[name] = process.duration_on(pe)
-
-        predecessors: Dict[str, Tuple[str, ...]] = {
-            name: tuple(
-                pred
-                for pred in self._graph.active_predecessors(name, path.assignment)
-                if pred in active_set
-            )
-            for name in active
-        }
+        active = context.active
+        active_set = context.active_set
+        durations = context.durations
+        pes = context.pes
+        predecessors = context.predecessors
 
         timelines: Dict[str, _ResourceTimeline] = {}
 
@@ -160,11 +239,9 @@ class PathListScheduler:
         broadcasts: Dict[Condition, ScheduledTask] = {}
         determination: Dict[Condition, float] = {}
         disjunction_pes: Dict[Condition, Optional[ProcessingElement]] = {}
-        pending_broadcasts: List[Tuple[float, Condition, Optional[ProcessingElement]]] = []
-
-        def dispatch_key(name: str) -> Tuple[float, float, str]:
-            hint = order_hint.get(name, float("inf")) if order_hint else float("inf")
-            return (hint, -priorities.get(name, 0.0), name)
+        pending_broadcasts: List[
+            Tuple[float, Condition, Optional[ProcessingElement]]
+        ] = []
 
         def schedule_broadcast(
             condition: Condition, ready: float, origin: Optional[ProcessingElement]
@@ -194,37 +271,41 @@ class PathListScheduler:
                 f"cond:{condition}", start, tau0, bus, condition
             )
 
-        remaining = set(active)
-        progress_guard = 0
-        limit = 4 * (len(active) + 1)
-        while remaining:
-            progress_guard += 1
-            if progress_guard > limit:
-                raise SchedulingError(
-                    f"scheduler failed to make progress on path {path.label}"
+        # Ready processes are kept in two heaps: processes with a locked
+        # activation time, keyed by (locked start, name), and free processes,
+        # keyed by the dispatch priority.  A ready locked process is always
+        # dispatched before any free one, matching the paper's adjustment
+        # rule; within each class the heap reproduces the order a full scan
+        # of the ready set would have chosen.
+        indegree = dict(context.base_indegree)
+        ready_locked: List[Tuple[float, str]] = []
+        ready_free: List[Tuple[float, float, str]] = []
+
+        def push_ready(name: str) -> None:
+            if name in locked_starts:
+                heapq.heappush(ready_locked, (locked_starts[name], name))
+            else:
+                hint = order_hint.get(name, _INFINITY) if order_hint else _INFINITY
+                heapq.heappush(
+                    ready_free, (hint, -priorities.get(name, 0.0), name)
                 )
+
+        for name in active:
+            if indegree[name] == 0:
+                push_ready(name)
+
+        remaining = len(active)
+        while remaining:
             # Broadcasts are dispatched as soon as their condition is computed.
             while pending_broadcasts:
-                pending_broadcasts.sort()
-                ready, condition, origin = pending_broadcasts.pop(0)
+                ready, condition, origin = heapq.heappop(pending_broadcasts)
                 schedule_broadcast(condition, ready, origin)
 
-            candidates = [
-                name
-                for name in remaining
-                if all(pred in scheduled for pred in predecessors[name])
-            ]
-            if not candidates:
-                raise SchedulingError(
-                    f"no dispatchable process on path {path.label}; "
-                    "the subgraph has a dependency cycle or missing processes"
-                )
-            locked_candidates = [c for c in candidates if c in locked_starts]
-            if locked_candidates:
-                name = min(locked_candidates, key=lambda c: (locked_starts[c], c))
+            if ready_locked:
+                _, name = heapq.heappop(ready_locked)
                 start = locked_starts[name]
-            else:
-                name = min(candidates, key=dispatch_key)
+            elif ready_free:
+                _, _, name = heapq.heappop(ready_free)
                 data_ready = max(
                     (scheduled[pred].end for pred in predecessors[name]), default=0.0
                 )
@@ -244,20 +325,29 @@ class PathListScheduler:
                     timeline(pe).reserve(start, start + durations[name])
                 else:
                     start = data_ready
+            else:
+                raise SchedulingError(
+                    f"no dispatchable process on path {path.label}; "
+                    "the subgraph has a dependency cycle or missing processes"
+                )
             task = ScheduledTask(name, start, durations[name], pes[name])
             scheduled[name] = task
-            remaining.discard(name)
-            progress_guard = 0
+            remaining -= 1
+            for successor in context.successors[name]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    push_ready(successor)
 
             condition = self._disjunctions.get(name)
             if condition is not None:
                 determination[condition] = task.end
                 disjunction_pes[condition] = pes[name]
-                pending_broadcasts.append((task.end, condition, pes[name]))
+                heapq.heappush(
+                    pending_broadcasts, (task.end, condition, pes[name])
+                )
 
         while pending_broadcasts:
-            pending_broadcasts.sort()
-            ready, condition, origin = pending_broadcasts.pop(0)
+            ready, condition, origin = heapq.heappop(pending_broadcasts)
             schedule_broadcast(condition, ready, origin)
 
         return PathSchedule(path, scheduled, broadcasts, determination, disjunction_pes)

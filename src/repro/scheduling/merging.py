@@ -29,7 +29,12 @@ from typing import Dict, List, Optional, Tuple
 from ..architecture.architecture import Architecture
 from ..architecture.mapping import Mapping
 from ..architecture.processing_element import ProcessingElement
-from ..conditions import Condition, Conjunction, Literal
+from ..conditions import (
+    DEFAULT_UNIVERSE,
+    Condition,
+    Conjunction,
+    masks_from_assignment,
+)
 from ..graph.cpg import ConditionalProcessGraph
 from ..graph.paths import AlternativePath, PathEnumerator
 from .list_scheduler import PathListScheduler
@@ -104,6 +109,13 @@ class ScheduleMerger:
             }
         self._paths = list(paths)
         self._optimal = dict(path_schedules)
+        # The order hint of a path (the start times of its optimal schedule)
+        # never changes during merging; build each dict once instead of on
+        # every re-adjustment.
+        self._order_hints = {
+            label: {name: task.start for name, task in schedule.tasks.items()}
+            for label, schedule in self._optimal.items()
+        }
         self._table = ScheduleTable(name=f"{self._graph.name}-table")
         self._trace = MergeTrace(
             path_delays={label: sched.delay for label, sched in self._optimal.items()}
@@ -212,13 +224,18 @@ class ScheduleMerger:
         current schedule (the caller restarts the walk), ``(False, schedule)``
         otherwise.
         """
+        known_pos, known_neg = masks_from_assignment(known)
         for item in current.all_items_in_order():
             if item.start >= branch_time - _EPSILON:
                 break
             if item.is_broadcast:
-                modified, current = self._place_broadcast(item, known, current)
+                modified, current = self._place_broadcast(
+                    item, known, known_pos, known_neg, current
+                )
             else:
-                modified, current = self._place_process(item, known, current, node)
+                modified, current = self._place_process(
+                    item, known, known_pos, known_neg, current, node
+                )
             if modified:
                 return True, current
         return False, current
@@ -227,19 +244,19 @@ class ScheduleMerger:
         self,
         task: ScheduledTask,
         known: Dict[Condition, bool],
+        known_pos: int,
+        known_neg: int,
         current: PathSchedule,
         node: DecisionNode,
     ) -> Tuple[bool, PathSchedule]:
         name = task.name
         if self._graph[name].is_dummy:
             return False, current
-        if self._applicable_entry(self._table.process_entries(name), known) is not None:
+        if self._table.applicable_process_entry(name, known_pos, known_neg) is not None:
             return False, current
         pe = self._mapping.get(name)
         column = self._column_for(pe, task.start, known, current)
-        conflicts = self._conflicting_entries(
-            self._table.process_entries(name), column, task.start
-        )
+        conflicts = self._table.conflicting_process_entries(name, column, task.start)
         if not conflicts:
             self._table.add_process_entry(name, column, task.start, pe)
             return False, current
@@ -252,6 +269,8 @@ class ScheduleMerger:
         self,
         task: ScheduledTask,
         known: Dict[Condition, bool],
+        known_pos: int,
+        known_neg: int,
         current: PathSchedule,
     ) -> Tuple[bool, PathSchedule]:
         condition = task.condition
@@ -261,15 +280,15 @@ class ScheduleMerger:
             # in the deeper segments, once the condition is part of ``known``.
             return False, current
         if (
-            self._applicable_entry(self._table.condition_entries(condition), known)
+            self._table.applicable_condition_entry(condition, known_pos, known_neg)
             is not None
         ):
             return False, current
         column = self._column_for(
             task.pe, task.start, known, current, exclude=condition
         )
-        conflicts = self._conflicting_entries(
-            self._table.condition_entries(condition), column, task.start
+        conflicts = self._table.conflicting_condition_entries(
+            condition, column, task.start
         )
         if not conflicts:
             self._table.add_condition_entry(condition, column, task.start, task.pe)
@@ -297,60 +316,38 @@ class ScheduleMerger:
         exclude: Optional[Condition] = None,
     ) -> Conjunction:
         """Conjunction of the condition values known on ``pe`` at ``start``."""
-        literals = []
+        pos = neg = 0
+        bit_of = DEFAULT_UNIVERSE.bit_of
         for condition, value in known.items():
             if exclude is not None and condition == exclude:
                 continue
             if condition not in current.determination_times:
                 continue
             if current.condition_known_time(condition, pe) <= start + _EPSILON:
-                literals.append(Literal(condition, value))
-        return Conjunction(literals)
-
-    @staticmethod
-    def _applicable_entry(
-        entries: Tuple[TableEntry, ...], known: Dict[Condition, bool]
-    ) -> Optional[TableEntry]:
-        """An entry whose column depends only on (and agrees with) ``known``."""
-        for entry in entries:
-            if entry.column.conditions <= set(known) and entry.column.satisfied_by_partial(
-                known
-            ):
-                return entry
-        return None
-
-    @staticmethod
-    def _conflicting_entries(
-        entries: Tuple[TableEntry, ...], column: Conjunction, start: float
-    ) -> List[TableEntry]:
-        """Entries violating requirement 2 against a prospective new entry."""
-        return [
-            entry
-            for entry in entries
-            if abs(entry.start - start) > _EPSILON
-            and not entry.column.is_mutually_exclusive_with(column)
-        ]
+                if value:
+                    pos |= bit_of(condition)
+                else:
+                    neg |= bit_of(condition)
+        return Conjunction.from_masks(pos, neg)
 
     def _locks_from_table(
         self, known: Dict[Condition, bool]
     ) -> Tuple[Dict[str, float], Dict[Condition, ScheduledTask]]:
-        """Previously fixed activation times that apply under ``known``."""
-        locked: Dict[str, float] = {}
-        for name in self._table.process_names:
-            entry = self._applicable_entry(self._table.process_entries(name), known)
-            if entry is not None:
-                locked[name] = entry.start
+        """Previously fixed activation times that apply under ``known``.
+
+        One pass over the table's mask index: a column applies when its masks
+        are submasks of the known assignment's masks.
+        """
+        pos, neg = masks_from_assignment(known)
+        process_entries, condition_entries = self._table.applicable_locks(pos, neg)
+        locked = {name: entry.start for name, entry in process_entries.items()}
         locked_broadcasts: Dict[Condition, ScheduledTask] = {}
         tau0 = self._architecture.condition_broadcast_time
-        for condition in self._table.conditions:
-            entry = self._applicable_entry(
-                self._table.condition_entries(condition), known
+        for condition, entry in condition_entries.items():
+            duration = tau0 if entry.pe is not None else 0.0
+            locked_broadcasts[condition] = ScheduledTask(
+                f"cond:{condition}", entry.start, duration, entry.pe, condition
             )
-            if entry is not None:
-                duration = tau0 if entry.pe is not None else 0.0
-                locked_broadcasts[condition] = ScheduledTask(
-                    f"cond:{condition}", entry.start, duration, entry.pe, condition
-                )
         return locked, locked_broadcasts
 
     def _adjust(
@@ -366,13 +363,11 @@ class ScheduleMerger:
             for condition, task in locked_broadcasts.items()
             if condition in self._optimal[path.label].determination_times
         }
-        original = self._optimal[path.label]
-        order_hint = {name: task.start for name, task in original.tasks.items()}
         adjusted = self._scheduler.schedule(
             path,
             locked_starts=locked,
             locked_broadcasts=locked_broadcasts,
-            order_hint=order_hint,
+            order_hint=self._order_hints[path.label],
         )
         return adjusted, len(locked)
 
@@ -398,13 +393,11 @@ class ScheduleMerger:
             locked.update(extra_locked)
         if extra_locked_broadcasts:
             locked_broadcasts.update(extra_locked_broadcasts)
-        original = self._optimal[current.path.label]
-        order_hint = {name: task.start for name, task in original.tasks.items()}
         return self._scheduler.schedule(
             current.path,
             locked_starts=locked,
             locked_broadcasts=locked_broadcasts,
-            order_hint=order_hint,
+            order_hint=self._order_hints[current.path.label],
         )
 
     def _resolve_process_conflict(
@@ -416,7 +409,6 @@ class ScheduleMerger:
     ) -> PathSchedule:
         """Move the process to a conflict-free activation time (Theorem 2)."""
         pe = self._mapping.get(name)
-        entries = self._table.process_entries(name)
         candidate_times = sorted({entry.start for entry in conflicts})
 
         # Cheap pre-screening: the column a candidate time would get depends on
@@ -426,11 +418,11 @@ class ScheduleMerger:
         # the per-candidate re-adjustment loop below remains as the fallback.
         for candidate in candidate_times:
             column = self._column_for(pe, candidate, known, current)
-            if self._conflicting_entries(entries, column, candidate):
+            if self._table.conflicting_process_entries(name, column, candidate):
                 continue
             adjusted = self._readjust(current, extra_locked={name: candidate})
             column = self._column_for(pe, candidate, known, adjusted)
-            if not self._conflicting_entries(entries, column, candidate):
+            if not self._table.conflicting_process_entries(name, column, candidate):
                 self._table.add_process_entry(name, column, candidate, pe)
                 return adjusted
             break
@@ -438,7 +430,7 @@ class ScheduleMerger:
         for candidate in candidate_times:
             adjusted = self._readjust(current, extra_locked={name: candidate})
             column = self._column_for(pe, candidate, known, adjusted)
-            if not self._conflicting_entries(entries, column, candidate):
+            if not self._table.conflicting_process_entries(name, column, candidate):
                 self._table.add_process_entry(name, column, candidate, pe)
                 return adjusted
 
@@ -458,7 +450,7 @@ class ScheduleMerger:
                 continue
             adjusted = self._readjust(current, extra_locked={name: candidate})
             column = self._column_for(pe, candidate, known, adjusted)
-            if not self._conflicting_entries(entries, column, candidate):
+            if not self._table.conflicting_process_entries(name, column, candidate):
                 self._table.add_process_entry(name, column, candidate, pe)
                 return adjusted
 

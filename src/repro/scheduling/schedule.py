@@ -82,6 +82,9 @@ class PathSchedule:
         self.broadcasts = dict(broadcasts)
         self.determination_times = dict(determination_times)
         self.disjunction_pes = dict(disjunction_pes)
+        self._items_cache: Optional[
+            Tuple[Tuple[ScheduledTask, ...], List[ScheduledTask]]
+        ] = None
 
     # -- basic queries --------------------------------------------------------
 
@@ -109,9 +112,19 @@ class PathSchedule:
         return sorted(self.tasks.values(), key=lambda t: (t.start, t.name))
 
     def all_items_in_order(self) -> List[ScheduledTask]:
-        """Process tasks and broadcasts interleaved by start time."""
-        items = list(self.tasks.values()) + list(self.broadcasts.values())
-        return sorted(items, key=lambda t: (t.start, t.is_broadcast, t.name))
+        """Process tasks and broadcasts interleaved by start time.
+
+        The sorted view is cached against a snapshot of the current items
+        (the merger walks it on every placement restart, always unchanged);
+        mutating ``tasks`` or ``broadcasts`` invalidates it on the next call.
+        """
+        snapshot = tuple(self.tasks.values()) + tuple(self.broadcasts.values())
+        if self._items_cache is None or self._items_cache[0] != snapshot:
+            self._items_cache = (
+                snapshot,
+                sorted(snapshot, key=lambda t: (t.start, t.is_broadcast, t.name)),
+            )
+        return list(self._items_cache[1])
 
     def tasks_on(self, pe: ProcessingElement) -> List[ScheduledTask]:
         """All activities (processes and broadcasts) scheduled on one element."""

@@ -18,9 +18,12 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..architecture.mapping import Mapping as PEMapping
 from ..architecture.processing_element import ProcessingElement
-from ..conditions import BoolExpr, Condition, Conjunction
+from ..conditions import BoolExpr, Condition, Conjunction, masks_from_assignment
 from ..graph.cpg import ConditionalProcessGraph
 from ..graph.paths import AlternativePath
+
+#: Time-comparison tolerance; must match the scheduler's and merger's epsilon.
+_EPSILON = 1e-9
 
 
 class ScheduleTableError(ValueError):
@@ -40,14 +43,32 @@ class TableEntry:
 
 
 class ScheduleTable:
-    """Rows of activation times indexed by column expressions."""
+    """Rows of activation times indexed by column expressions.
+
+    Besides the per-row entry lists, the table maintains a mask index: every
+    distinct column (a bitmask pair over the condition universe) maps to the
+    entries filed under it, each tagged with a global insertion sequence
+    number.  The merger's hot queries — "which previously fixed activation
+    times apply under this partial knowledge?" — then probe the few distinct
+    columns with two integer operations each instead of scanning every row.
+    """
 
     def __init__(self, name: str = "schedule-table") -> None:
         self.name = name
         self._process_rows: Dict[str, List[TableEntry]] = {}
         self._condition_rows: Dict[Condition, List[TableEntry]] = {}
+        # column masks -> [(sequence, is_condition_row, row_key, entry), ...]
+        self._column_index: Dict[Tuple[int, int], List[tuple]] = {}
+        self._sequence = 0
 
     # -- construction ------------------------------------------------------------
+
+    def _index_entry(self, is_condition: bool, key, entry: TableEntry) -> None:
+        masks = (entry.column.pos_mask, entry.column.neg_mask)
+        self._column_index.setdefault(masks, []).append(
+            (self._sequence, is_condition, key, entry)
+        )
+        self._sequence += 1
 
     def add_process_entry(
         self,
@@ -59,6 +80,7 @@ class ScheduleTable:
         """Record an activation time for a process under a column expression."""
         entry = TableEntry(column, start, pe)
         self._process_rows.setdefault(process_name, []).append(entry)
+        self._index_entry(False, process_name, entry)
         return entry
 
     def add_condition_entry(
@@ -71,6 +93,7 @@ class ScheduleTable:
         """Record the start of a condition broadcast under a column expression."""
         entry = TableEntry(column, start, pe)
         self._condition_rows.setdefault(condition, []).append(entry)
+        self._index_entry(True, condition, entry)
         return entry
 
     # -- access ---------------------------------------------------------------------
@@ -110,7 +133,85 @@ class ScheduleTable:
     def __len__(self) -> int:
         return len(self._process_rows)
 
+    # -- mask-indexed queries (merger hot path) -----------------------------------
+
+    def applicable_process_entry(
+        self, process_name: str, pos_mask: int, neg_mask: int
+    ) -> Optional[TableEntry]:
+        """First entry of a process row whose column is satisfied by the masks."""
+        for entry in self._process_rows.get(process_name, ()):
+            if entry.column.satisfied_by_masks(pos_mask, neg_mask):
+                return entry
+        return None
+
+    def applicable_condition_entry(
+        self, condition: Condition, pos_mask: int, neg_mask: int
+    ) -> Optional[TableEntry]:
+        """First entry of a condition row whose column is satisfied by the masks."""
+        for entry in self._condition_rows.get(condition, ()):
+            if entry.column.satisfied_by_masks(pos_mask, neg_mask):
+                return entry
+        return None
+
+    def conflicting_process_entries(
+        self, process_name: str, column: Conjunction, start: float
+    ) -> List[TableEntry]:
+        """Entries of a process row violating requirement 2 against a new entry."""
+        return _conflicts(self._process_rows.get(process_name, ()), column, start)
+
+    def conflicting_condition_entries(
+        self, condition: Condition, column: Conjunction, start: float
+    ) -> List[TableEntry]:
+        """Entries of a condition row violating requirement 2 against a new entry."""
+        return _conflicts(self._condition_rows.get(condition, ()), column, start)
+
+    def applicable_locks(
+        self, pos_mask: int, neg_mask: int
+    ) -> Tuple[Dict[str, TableEntry], Dict[Condition, TableEntry]]:
+        """The first applicable entry of every row under the given masks.
+
+        Walks the distinct columns of the mask index (a dict probe plus two
+        integer operations per column) rather than every row of the table;
+        per row the entry that was inserted first — the one a sequential row
+        scan would return — wins.
+        """
+        process_best: Dict[str, tuple] = {}
+        condition_best: Dict[Condition, tuple] = {}
+        for (col_pos, col_neg), bucket in self._column_index.items():
+            if (col_pos & ~pos_mask) or (col_neg & ~neg_mask):
+                continue
+            for sequence, is_condition, key, entry in bucket:
+                best = condition_best if is_condition else process_best
+                current = best.get(key)
+                if current is None or sequence < current[0]:
+                    best[key] = (sequence, entry)
+        return (
+            {name: entry for name, (_, entry) in process_best.items()},
+            {condition: entry for condition, (_, entry) in condition_best.items()},
+        )
+
     # -- interpretation ---------------------------------------------------------------
+
+    @staticmethod
+    def _row_start(
+        entries: Tuple[TableEntry, ...], pos_mask: int, neg_mask: int, label: str
+    ) -> Optional[float]:
+        """The single start time a row yields under the given masks, or None.
+
+        Raises when several applicable columns give different times (a
+        requirement-2 violation).
+        """
+        applicable = [
+            entry
+            for entry in entries
+            if entry.column.satisfied_by_masks(pos_mask, neg_mask)
+        ]
+        if not applicable:
+            return None
+        times = {entry.start for entry in applicable}
+        if len(times) > 1:
+            raise ScheduleTableError(f"ambiguous {label}: {sorted(times)}")
+        return applicable[0].start
 
     def activation_time(
         self, process_name: str, assignment: Mapping[Condition, bool]
@@ -121,37 +222,25 @@ class ScheduleTable:
         the selected alternative path).  Raises when several applicable
         columns give different times (a requirement-2 violation).
         """
-        applicable = [
-            entry
-            for entry in self._process_rows.get(process_name, ())
-            if entry.column.satisfied_by_partial(assignment)
-        ]
-        if not applicable:
-            return None
-        times = {entry.start for entry in applicable}
-        if len(times) > 1:
-            raise ScheduleTableError(
-                f"ambiguous activation time for {process_name!r}: {sorted(times)}"
-            )
-        return applicable[0].start
+        pos, neg = masks_from_assignment(assignment)
+        return self._row_start(
+            self._process_rows.get(process_name, ()),
+            pos,
+            neg,
+            f"activation time for {process_name!r}",
+        )
 
     def broadcast_time(
         self, condition: Condition, assignment: Mapping[Condition, bool]
     ) -> Optional[float]:
         """Broadcast start time of a condition under a complete assignment."""
-        applicable = [
-            entry
-            for entry in self._condition_rows.get(condition, ())
-            if entry.column.satisfied_by_partial(assignment)
-        ]
-        if not applicable:
-            return None
-        times = {entry.start for entry in applicable}
-        if len(times) > 1:
-            raise ScheduleTableError(
-                f"ambiguous broadcast time for condition {condition}: {sorted(times)}"
-            )
-        return applicable[0].start
+        pos, neg = masks_from_assignment(assignment)
+        return self._row_start(
+            self._condition_rows.get(condition, ()),
+            pos,
+            neg,
+            f"broadcast time for condition {condition}",
+        )
 
     def delay_of_path(
         self,
@@ -161,11 +250,17 @@ class ScheduleTable:
     ) -> float:
         """Completion time of one alternative path executed from this table."""
         delay = 0.0
+        pos, neg = masks_from_assignment(path.assignment)
         for name in path.active_processes:
             process = graph[name]
             if process.is_dummy:
                 continue
-            start = self.activation_time(name, path.assignment)
+            start = self._row_start(
+                self._process_rows.get(name, ()),
+                pos,
+                neg,
+                f"activation time for {name!r}",
+            )
             if start is None:
                 raise ScheduleTableError(
                     f"process {name!r} is active on path {path.label} but the "
@@ -210,7 +305,7 @@ class ScheduleTable:
     def _check_exclusive(label: str, entries: List[TableEntry]) -> None:
         for i, first in enumerate(entries):
             for second in entries[i + 1 :]:
-                if abs(first.start - second.start) < 1e-9:
+                if abs(first.start - second.start) < _EPSILON:
                     continue
                 if not first.column.is_mutually_exclusive_with(second.column):
                     raise ScheduleTableError(
@@ -247,3 +342,15 @@ class ScheduleTable:
             f"ScheduleTable(name={self.name!r}, rows={len(self._process_rows)}, "
             f"columns={len(self.columns())})"
         )
+
+
+def _conflicts(
+    entries: Iterable[TableEntry], column: Conjunction, start: float
+) -> List[TableEntry]:
+    """Entries at a different start whose column is not exclusive with ``column``."""
+    return [
+        entry
+        for entry in entries
+        if abs(entry.start - start) > _EPSILON
+        and not entry.column.is_mutually_exclusive_with(column)
+    ]

@@ -86,3 +86,11 @@ def small_system(two_processor_architecture):
         "mapping": mapping,
         "expanded": expanded,
     }
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: wall-clock smoke checks against the BENCH_core.json baseline "
+        "(deselect with -m 'not perf' on constrained machines)",
+    )

@@ -127,12 +127,12 @@ class TestPathEnumeration:
         graph = nested_condition_graph()
         assert count_paths(graph) == len(enumerate_paths(graph)) == 3
 
-    def test_paths_are_cached_and_copied(self):
+    def test_paths_are_cached_and_immutable(self):
         enumerator = PathEnumerator(nested_condition_graph())
         first = enumerator.paths()
         second = enumerator.paths()
-        assert first == second
-        first.append("sentinel")
+        assert first is second  # the cached tuple is returned, not a copy
+        assert isinstance(first, tuple)  # callers cannot corrupt the cache
         assert len(enumerator.paths()) == 3
 
     def test_fig1_has_six_paths(self, fig1):

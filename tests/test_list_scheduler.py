@@ -268,3 +268,63 @@ class TestResourceCorrectness:
                     if fig1.graph[pred].is_dummy:
                         continue
                     assert schedule.start_of(name) >= schedule.end_of(pred) - 1e-9
+
+
+class TestBroadcastDispatchOrder:
+    """The heap-backed pending-broadcast queue must preserve dispatch order.
+
+    Broadcasts are dispatched in ascending (determination time, condition)
+    order — the order the former sort-then-pop(0) implementation produced —
+    so conditions determined earlier grab the bus first.
+    """
+
+    def build_multi_condition_system(self):
+        architecture = Architecture(
+            [programmable("pe1"), programmable("pe2")],
+            [bus("bus1")],
+            condition_broadcast_time=2.0,
+        )
+        builder = CPGBuilder("multi-cond")
+        K1, K2, K3 = Condition("K1"), Condition("K2"), Condition("K3")
+        builder.process("S", 1.0)
+        # Three disjunction processes finishing at staggered times on pe1/pe2.
+        builder.process("D1", 2.0)
+        builder.process("D2", 3.0)
+        builder.process("D3", 5.0)
+        for name, cond in (("D1", K1), ("D2", K2), ("D3", K3)):
+            builder.process(f"{name}t", 1.0)
+            builder.process(f"{name}f", 1.0)
+            builder.edge("S", name)
+            builder.edge(name, f"{name}t", condition=cond.true())
+            builder.edge(name, f"{name}f", condition=cond.false())
+        builder.process("T", 1.0, is_conjunction=True)
+        for name in ("D1", "D2", "D3"):
+            builder.edge(f"{name}t", "T")
+            builder.edge(f"{name}f", "T")
+        graph = builder.build()
+        mapping = Mapping(architecture)
+        pe1, pe2 = architecture["pe1"], architecture["pe2"]
+        for process in graph.ordinary_processes:
+            mapping.assign(process.name, pe1 if process.name != "D2" else pe2)
+        expanded = expand_communications(graph, mapping, architecture)
+        return architecture, expanded, (K1, K2, K3)
+
+    def test_broadcasts_dispatched_in_determination_order(self):
+        architecture, expanded, conditions = self.build_multi_condition_system()
+        scheduler = PathListScheduler(expanded.graph, expanded.mapping, architecture)
+        for path in PathEnumerator(expanded.graph).paths():
+            schedule = scheduler.schedule(path)
+            determined = sorted(
+                schedule.determination_times.items(), key=lambda kv: (kv[1], kv[0])
+            )
+            starts = [schedule.broadcasts[cond].start for cond, _ in determined]
+            # Earlier-determined conditions are granted the bus first: the
+            # broadcast start times are non-decreasing in dispatch order.
+            assert starts == sorted(starts)
+            # And on a single-bus system the broadcasts never overlap.
+            ordered = sorted(
+                (schedule.broadcasts[cond] for cond in schedule.broadcasts),
+                key=lambda task: task.start,
+            )
+            for first, second in zip(ordered, ordered[1:]):
+                assert second.start >= first.end - 1e-9

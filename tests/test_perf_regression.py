@@ -1,0 +1,37 @@
+"""Perf smoke test: merge time must not blow up against BENCH_core.json.
+
+Runs the same comparison as ``scripts/run_benchmarks.py --check`` on the
+committed baseline, but with a relaxed tolerance (3x instead of the CLI's
+25%) so tier-1 stays deterministic on busy machines while still catching an
+accidental return to the pre-optimisation complexity (the seed
+implementation was 5-15x slower, far outside even the relaxed limit).  The
+check additionally scales its limit by the host-speed calibration recorded
+in the baseline, so a slower machine than the baseline host does not fail
+spuriously.
+
+Deselect with ``-m "not perf"`` if a constrained environment cannot afford
+the ~0.2s measurement.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "scripts"))
+
+from run_benchmarks import DEFAULT_OUTPUT, check  # noqa: E402
+
+#: Relaxed factor for the in-suite smoke check (the CLI uses 0.25).
+SMOKE_TOLERANCE = 2.0
+
+
+@pytest.mark.perf
+def test_merge_time_within_smoke_tolerance():
+    if not DEFAULT_OUTPUT.exists():
+        pytest.skip("BENCH_core.json baseline not present")
+    failure = check(DEFAULT_OUTPUT, tolerance=SMOKE_TOLERANCE, repeats=3)
+    assert failure is None, failure
