@@ -1,0 +1,83 @@
+"""Exploration — engine comparison and evaluator speedup on a seeded system.
+
+Beyond the paper (which takes the mapping as an upstream input), this
+benchmark exercises the design-space exploration subsystem: tabu search vs
+simulated annealing over the mapping/priority space of a seeded random
+system, plus the evaluator-layer measurement (content-hash cache + parallel
+pool vs naive sequential re-evaluation) whose committed trajectory lives in
+``BENCH_core.json`` under the ``exploration`` key.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis import format_exploration_comparison, format_table
+from repro.exploration import ExplorationConfig, ExplorationProblem, Explorer
+from repro.generator import generate_system
+
+from conftest import write_result
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from run_benchmarks import EXPLORATION_WORKLOAD, _measure_exploration  # noqa: E402
+
+
+def test_exploration_engines(benchmark):
+    system = generate_system(40, 8, seed=0)
+    problem = ExplorationProblem.from_system(system)
+    config = ExplorationConfig(seed=0, max_cycles=15, neighbors_per_cycle=6)
+    explorer = Explorer(problem, config=config)
+    results = [explorer.explore(engine) for engine in ("tabu", "anneal")]
+
+    lines = [
+        format_exploration_comparison(
+            "Exploration: tabu vs annealing on a 40-node, 8-path system "
+            "(seed 0, shared cache)",
+            results,
+        )
+    ]
+    write_result("exploration_engines", "\n".join(lines))
+
+    # Both engines must at least not regress the seed design point, and the
+    # budget must be respected.
+    for result in results:
+        assert result.best.cost <= result.initial.cost + 1e-9
+        assert result.cycles <= config.max_cycles
+
+    # pytest-benchmark timing of one short tabu run (fresh cache each round).
+    def explore_once():
+        fresh = Explorer(
+            problem,
+            config=ExplorationConfig(seed=0, max_cycles=4, neighbors_per_cycle=4),
+        )
+        return fresh.explore("tabu")
+
+    benchmark(explore_once)
+
+
+def test_exploration_evaluator_speedup():
+    record = _measure_exploration()
+    rows = [[
+        f"{EXPLORATION_WORKLOAD['nodes']} nodes",
+        record["stream_length"],
+        record["distinct_candidates"],
+        record["workers"],
+        record["naive_seconds"],
+        record["optimised_seconds"],
+        f"{record['speedup']}x",
+    ]]
+    write_result(
+        "exploration_evaluator_speedup",
+        format_table(
+            "Exploration evaluator: cache + pool vs naive sequential "
+            "re-evaluation",
+            ["system", "requests", "distinct", "workers", "naive (s)",
+             "cached (s)", "speedup"],
+            rows,
+        ),
+    )
+    # The cache alone removes the revisit passes; any parallel headroom is on
+    # top.  Keep a conservative floor so busy hosts do not flake.
+    assert record["speedup"] >= 1.5

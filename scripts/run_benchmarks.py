@@ -47,6 +47,18 @@ SEED_MERGE_SECONDS = {
 DEFAULT_REFERENCE = "medium"
 DEFAULT_TOLERANCE = 0.25
 
+#: Exploration-evaluator benchmark workload: a seeded 40-node/8-path system,
+#: one neighbourhood of distinct candidates, replayed for several passes the
+#: way local search revisits design points (undone moves, a second engine
+#: re-walking the same region, annealing bouncing around a basin).
+EXPLORATION_WORKLOAD = {
+    "nodes": 40,
+    "alternative_paths": 8,
+    "seed": 11,
+    "distinct_candidates": 24,
+    "passes": 3,
+}
+
 
 def _calibrate(repeats: int = 3) -> float:
     """Wall-time of a fixed pure-Python workload, proxying host speed.
@@ -93,6 +105,64 @@ def _measure(preset: str, repeats: int) -> dict:
     return record
 
 
+def _measure_exploration() -> dict:
+    """Time the exploration evaluator: cache + parallel pool vs naive serial.
+
+    Builds the :data:`EXPLORATION_WORKLOAD` candidate stream (a neighbourhood
+    of distinct design points replayed over several passes) and scores it
+    twice — once re-running the schedule merger for every request (the naive
+    baseline a search without the evaluator layer would pay) and once through
+    the content-hash cache backed by the ``concurrent.futures`` pool.
+    """
+    import random
+
+    from repro.exploration import (
+        CachedEvaluator,
+        EvaluationPool,
+        ExplorationProblem,
+        NeighborhoodSampler,
+        default_worker_count,
+    )
+    from repro.generator import generate_system
+
+    spec = EXPLORATION_WORKLOAD
+    system = generate_system(spec["nodes"], spec["alternative_paths"], seed=spec["seed"])
+    problem = ExplorationProblem.from_system(system)
+    rng = random.Random(spec["seed"])
+    initial = problem.initial_candidate()
+    neighbors = NeighborhoodSampler(problem).sample(
+        initial, rng, spec["distinct_candidates"]
+    )
+    batch = [candidate for _, candidate in neighbors]
+    stream = []
+    for _ in range(spec["passes"]):
+        replay = list(batch)
+        rng.shuffle(replay)
+        stream.extend(replay)
+
+    started = time.perf_counter()
+    naive = CachedEvaluator(problem, cache=False).evaluate_many(stream)
+    naive_seconds = time.perf_counter() - started
+
+    workers = default_worker_count()
+    with EvaluationPool(problem, workers=workers) as pool:
+        evaluator = CachedEvaluator(problem, pool=pool)
+        started = time.perf_counter()
+        optimised = evaluator.evaluate_many(stream)
+        optimised_seconds = time.perf_counter() - started
+    assert naive == optimised, "cache/pool evaluation diverged from naive"
+
+    return {
+        **spec,
+        "stream_length": len(stream),
+        "workers": workers,
+        "pool_mode": pool.mode,
+        "naive_seconds": round(naive_seconds, 4),
+        "optimised_seconds": round(optimised_seconds, 4),
+        "speedup": round(naive_seconds / optimised_seconds, 2),
+    }
+
+
 def run(output: Path, presets, repeats: int) -> dict:
     workloads = {}
     for preset in presets:
@@ -104,17 +174,29 @@ def run(output: Path, presets, repeats: int) -> dict:
             f"{preset:>8}: {rec['expanded_processes']:>4} processes, "
             f"merge {rec['merge_seconds']:.4f}s{extra}"
         )
+    exploration = _measure_exploration()
+    print(
+        f"explore : {exploration['stream_length']} candidate requests "
+        f"({exploration['distinct_candidates']} distinct), naive "
+        f"{exploration['naive_seconds']:.4f}s vs cache+pool "
+        f"{exploration['optimised_seconds']:.4f}s "
+        f"({exploration['speedup']}x, {exploration['workers']} worker(s))"
+    )
     payload = {
         "description": (
             "ScheduleMerger.merge wall-time on the LARGE_SCALE_PRESETS random "
             "systems; seed_merge_seconds is the frozen pre-optimisation "
-            "baseline. Regenerate with scripts/run_benchmarks.py; check with "
+            "baseline. 'exploration' times the design-space explorer's "
+            "evaluator layer (content-hash cache + parallel pool) against "
+            "naive sequential re-evaluation on a revisit-heavy candidate "
+            "stream. Regenerate with scripts/run_benchmarks.py; check with "
             "--check."
         ),
         "reference": DEFAULT_REFERENCE,
         "tolerance": DEFAULT_TOLERANCE,
         "calibration_seconds": round(_calibrate(), 4),
         "workloads": workloads,
+        "exploration": exploration,
     }
     output.write_text(json.dumps(payload, indent=1) + "\n")
     print(f"wrote {output}")

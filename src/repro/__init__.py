@@ -29,6 +29,17 @@ from .architecture import (
 )
 from .conditions import BoolExpr, Condition, Conjunction, Literal
 from .data import Fig1Example, load_fig1_example
+from .exploration import (
+    CachedEvaluator,
+    Candidate,
+    CandidateEvaluation,
+    CostWeights,
+    EvaluationPool,
+    ExplorationConfig,
+    ExplorationProblem,
+    ExplorationResult,
+    Explorer,
+)
 from .graph import (
     AlternativePath,
     CPGBuilder,
@@ -69,11 +80,20 @@ __all__ = [
     "ArchitectureError",
     "BoolExpr",
     "CPGBuilder",
+    "CachedEvaluator",
+    "Candidate",
+    "CandidateEvaluation",
     "Condition",
     "ConditionalProcessGraph",
     "Conjunction",
+    "CostWeights",
     "Edge",
+    "EvaluationPool",
     "ExpandedGraph",
+    "ExplorationConfig",
+    "ExplorationProblem",
+    "ExplorationResult",
+    "Explorer",
     "Fig1Example",
     "GraphStructureError",
     "Literal",

@@ -9,7 +9,13 @@ from .metrics import (
     group_by,
     speedup,
 )
-from .reporting import format_comparison, format_series, format_table
+from .reporting import (
+    format_comparison,
+    format_exploration_comparison,
+    format_series,
+    format_table,
+    format_trajectory,
+)
 from .table_format import (
     format_condition_rows,
     format_schedule_table,
@@ -24,9 +30,11 @@ __all__ = [
     "delay_increase",
     "format_comparison",
     "format_condition_rows",
+    "format_exploration_comparison",
     "format_schedule_table",
     "format_series",
     "format_table",
+    "format_trajectory",
     "group_by",
     "render_gantt",
     "render_schedule_listing",

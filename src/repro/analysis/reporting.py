@@ -78,3 +78,42 @@ def format_comparison(
 def as_dict(rows: Sequence[Sequence[object]], key_index: int = 0) -> Dict[str, List[object]]:
     """Index table rows by one column (convenience for tests)."""
     return {str(row[key_index]): list(row) for row in rows}
+
+
+def format_trajectory(title: str, points: Sequence[object]) -> str:
+    """Format a design-space exploration trajectory as an aligned table.
+
+    ``points`` duck-types :class:`repro.exploration.TrajectoryPoint`: objects
+    with ``cycle``, ``move``, ``cost``, ``best_cost`` and ``accepted``
+    attributes, one per search cycle.
+    """
+    rows = [
+        [point.cycle, point.move, point.cost, point.best_cost, point.accepted]
+        for point in points
+    ]
+    return format_table(title, ["cycle", "move", "cost", "best", "accepted"], rows)
+
+
+def format_exploration_comparison(
+    title: str, results: Sequence[object]
+) -> str:
+    """Side-by-side summary of several exploration runs (one row per engine).
+
+    ``results`` duck-types :class:`repro.exploration.ExplorationResult`.
+    """
+    rows = []
+    for result in results:
+        rows.append([
+            result.engine,
+            result.initial.delta_max,
+            result.best.delta_max,
+            f"{result.improvement_percent:.2f}%",
+            result.cycles,
+            result.evaluations,
+            result.cache.hits,
+        ])
+    return format_table(
+        title,
+        ["engine", "seed dmax", "best dmax", "gain", "cycles", "evals", "cache hits"],
+        rows,
+    )

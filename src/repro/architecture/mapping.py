@@ -9,10 +9,23 @@ al., 1997); this module only represents and validates the result.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping as TMapping, Optional, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    Mapping as TMapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .architecture import Architecture
 from .processing_element import ProcessingElement
+
+#: Processing elements may be given by object or by name everywhere a mapping
+#: is built or queried; names are resolved against the architecture.
+PELike = Union[ProcessingElement, str]
 
 
 class MappingError(ValueError):
@@ -31,10 +44,14 @@ class Mapping:
     def __init__(
         self,
         architecture: Architecture,
-        assignments: Optional[TMapping[str, ProcessingElement]] = None,
+        assignments: Optional[TMapping[str, PELike]] = None,
     ) -> None:
         self._architecture = architecture
         self._assignments: Dict[str, ProcessingElement] = {}
+        # Per-PE reverse index (PE name -> process names), maintained by
+        # ``assign`` so that ``processes_on`` is a dict probe instead of a
+        # scan over every assignment.
+        self._by_pe: Dict[str, Set[str]] = {}
         if assignments:
             for process_name, pe in assignments.items():
                 self.assign(process_name, pe)
@@ -45,17 +62,26 @@ class Mapping:
 
     # -- mutation -----------------------------------------------------------
 
-    def assign(self, process_name: str, pe: ProcessingElement) -> None:
-        """Assign a process to a processing element of the architecture."""
+    def assign(self, process_name: str, pe: PELike) -> None:
+        """Assign a process to a processing element (given by object or name)."""
         if isinstance(pe, str):
-            pe = self._architecture[pe]
+            try:
+                pe = self._architecture[pe]
+            except KeyError:
+                raise MappingError(
+                    f"{pe!r} is not a processing element of the architecture"
+                ) from None
         if pe not in self._architecture:
             raise MappingError(
                 f"{pe.name} is not a processing element of the architecture"
             )
+        previous = self._assignments.get(process_name)
+        if previous is not None and previous != pe:
+            self._by_pe[previous.name].discard(process_name)
         self._assignments[process_name] = pe
+        self._by_pe.setdefault(pe.name, set()).add(process_name)
 
-    def assign_many(self, pe: ProcessingElement, process_names: Iterable[str]) -> None:
+    def assign_many(self, pe: PELike, process_names: Iterable[str]) -> None:
         """Assign several processes to the same processing element."""
         for name in process_names:
             self.assign(name, pe)
@@ -83,14 +109,30 @@ class Mapping:
     def items(self) -> Iterator[Tuple[str, ProcessingElement]]:
         return iter(self._assignments.items())
 
-    def processes_on(self, pe: ProcessingElement) -> Tuple[str, ...]:
-        """Return the names of all processes mapped to the given element."""
-        return tuple(
-            sorted(name for name, mapped in self._assignments.items() if mapped == pe)
-        )
+    def processes_on(self, pe: PELike) -> Tuple[str, ...]:
+        """Return the names of all processes mapped to the given element.
+
+        Served from the per-PE index maintained by :meth:`assign`, so the
+        query costs one dict probe plus a sort of the (usually short) result
+        instead of a scan over every assignment.
+        """
+        pe_name = pe if isinstance(pe, str) else pe.name
+        return tuple(sorted(self._by_pe.get(pe_name, ())))
 
     def copy(self) -> "Mapping":
         return Mapping(self._architecture, dict(self._assignments))
+
+    def reassigned(self, changes: TMapping[str, PELike]) -> "Mapping":
+        """Return a new mapping with the given processes moved, leaving self intact.
+
+        This is the functional-update entry point of the design-space
+        explorer: neighbourhood moves produce fresh mappings without mutating
+        the candidate they were derived from.
+        """
+        updated = self.copy()
+        for process_name, pe in changes.items():
+            updated.assign(process_name, pe)
+        return updated
 
     # -- validation -----------------------------------------------------------
 

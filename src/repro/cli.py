@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction.
 
-Four subcommands cover the main uses of the library without writing Python:
+Five subcommands cover the main uses of the library without writing Python:
 
 ``repro-cpg info <system.json>``
     Parse a system description, validate it and print its characteristics
@@ -9,13 +9,19 @@ Four subcommands cover the main uses of the library without writing Python:
 ``repro-cpg schedule <system.json>``
     Generate the schedule table for a system description, print the per-path
     delays, the worst-case delay and (optionally) the full table.
+    ``--json`` emits the same results machine-readably.
 
 ``repro-cpg fig1``
     Run the paper's Fig. 1 example end to end.
 
 ``repro-cpg sweep``
     A small randomised sweep reporting the Fig. 5 metric (delay increase) for
-    the requested sizes and path counts.
+    the requested sizes and path counts.  ``--json`` emits the series.
+
+``repro-cpg explore``
+    Design-space exploration: search the mapping/priority space of a seeded
+    random system (or a system description file) with tabu search or
+    simulated annealing, using the schedule merger as the evaluator.
 
 The console script ``repro-cpg`` is installed with the package; the module can
 also be run with ``python -m repro.cli``.
@@ -24,12 +30,20 @@ also be run with ``python -m repro.cli``.
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 from typing import List, Optional, Sequence
 
-from .analysis import aggregate, format_schedule_table, format_series
+from .analysis import aggregate, format_schedule_table, format_series, format_trajectory
 from .data import load_fig1_example
-from .generator import RandomSystemGenerator, paper_experiment_configs
+from .exploration import (
+    ExplorationConfig,
+    ExplorationProblem,
+    EvaluationPool,
+    Explorer,
+)
+from .generator import RandomSystemGenerator, generate_system, paper_experiment_configs
 from .graph import PathEnumerator
 from .io import load_system
 from .scheduling import ScheduleMerger
@@ -58,6 +72,9 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute every alternative path on the run-time simulator",
     )
+    schedule.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
 
     subparsers.add_parser("fig1", help="run the paper's Fig. 1 example")
 
@@ -67,6 +84,54 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--nodes", type=int, nargs="+", default=[40])
     sweep.add_argument("--paths", type=int, nargs="+", default=[4, 8])
     sweep.add_argument("--graphs", type=int, default=2, help="graphs per setting")
+    sweep.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="search the mapping/priority design space with the merge "
+        "scheduler as evaluator",
+    )
+    explore.add_argument(
+        "system",
+        nargs="?",
+        default=None,
+        help="optional JSON system description; omitted: a seeded random system",
+    )
+    explore.add_argument("--nodes", type=int, default=40, help="random-system size")
+    explore.add_argument(
+        "--paths", type=int, default=8, help="random-system alternative paths"
+    )
+    explore.add_argument("--seed", type=int, default=0, help="search + system seed")
+    explore.add_argument(
+        "--engine",
+        choices=["tabu", "anneal", "both"],
+        default="tabu",
+        help="search engine ('both' runs tabu then annealing on a shared cache)",
+    )
+    explore.add_argument("--cycles", type=int, default=40, help="cycle budget")
+    explore.add_argument(
+        "--neighbors", type=int, default=8, help="neighbours scored per cycle"
+    )
+    explore.add_argument(
+        "--stall",
+        type=int,
+        default=0,
+        help="stop after N cycles without improvement (0: disabled)",
+    )
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="evaluation-pool workers (>1 scores neighbour batches in parallel)",
+    )
+    explore.add_argument(
+        "--trajectory", action="store_true", help="print the full trajectory"
+    )
+    explore.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
 
     return parser
 
@@ -90,13 +155,41 @@ def _command_info(path: str) -> int:
     return 0
 
 
-def _command_schedule(path: str, show_table: bool, validate: bool) -> int:
+def _command_schedule(
+    path: str, show_table: bool, validate: bool, as_json: bool = False
+) -> int:
     system = load_system(path)
     system.graph.validate()
     expanded = system.expand()
     result = ScheduleMerger(
         expanded.graph, expanded.mapping, system.architecture
     ).merge()
+    report = None
+    if validate:
+        report = validate_merge_result(
+            expanded.graph, expanded.mapping, result, system.architecture
+        )
+    if as_json:
+        document = {
+            "system": system.name,
+            "alternative_paths": len(result.paths),
+            "path_delays": {
+                str(label): schedule.delay
+                for label, schedule in sorted(
+                    result.path_schedules.items(), key=lambda kv: str(kv[0])
+                )
+            },
+            "delta_m": result.delta_m,
+            "delta_max": result.delta_max,
+            "delay_increase_percent": result.delay_increase_percent,
+        }
+        if report is not None:
+            document["validation"] = {
+                "paths_checked": report.paths_checked,
+                "worst_case_delay": report.worst_case_delay,
+            }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     print(f"alternative paths : {len(result.paths)}")
     for label, schedule in sorted(
         result.path_schedules.items(), key=lambda kv: -kv[1].delay
@@ -108,10 +201,7 @@ def _command_schedule(path: str, show_table: bool, validate: bool) -> int:
     if show_table:
         print()
         print(format_schedule_table(result.table))
-    if validate:
-        report = validate_merge_result(
-            expanded.graph, expanded.mapping, result, system.architecture
-        )
+    if report is not None:
         print(f"validated {report.paths_checked} paths; "
               f"simulated worst case {report.worst_case_delay:g}")
     return 0
@@ -135,7 +225,9 @@ def _command_fig1() -> int:
     return 0
 
 
-def _command_sweep(nodes: List[int], paths: List[int], graphs: int) -> int:
+def _command_sweep(
+    nodes: List[int], paths: List[int], graphs: int, as_json: bool = False
+) -> int:
     series = {}
     for size in nodes:
         configs = paper_experiment_configs(
@@ -152,9 +244,148 @@ def _command_sweep(nodes: List[int], paths: List[int], graphs: int) -> int:
             count: aggregate(results).average_increase_percent
             for count, results in sorted(by_paths.items())
         }
+    if as_json:
+        print(json.dumps(
+            {
+                "metric": "average increase of delta_max over delta_M (%)",
+                "graphs_per_setting": graphs,
+                "series": series,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     print(format_series(
         "average increase of delta_max over delta_M (%)", "paths", series
     ))
+    return 0
+
+
+def _finite(value: float):
+    """Non-finite costs (infeasible candidates) become null in JSON output.
+
+    ``json.dumps`` would otherwise emit the spec-invalid token ``Infinity``,
+    which strict RFC 8259 parsers (jq, JavaScript) reject.
+    """
+    return value if math.isfinite(value) else None
+
+
+def _explore_result_dict(result) -> dict:
+    return {
+        "engine": result.engine,
+        "initial": {
+            "feasible": result.initial.feasible,
+            "delta_max": result.initial.delta_max,
+            "delta_m": result.initial.delta_m,
+            "cost": _finite(result.initial.cost),
+        },
+        "best": {
+            "fingerprint": result.best_candidate.fingerprint,
+            "feasible": result.best.feasible,
+            "delta_max": result.best.delta_max,
+            "delta_m": result.best.delta_m,
+            "cost": _finite(result.best.cost),
+            "mean_path_delay": result.best.mean_path_delay,
+            "load_imbalance": result.best.load_imbalance,
+            "priority_function": result.best_candidate.priority_function,
+            "assignment": dict(result.best_candidate.assignment),
+        },
+        "improvement_percent": result.improvement_percent,
+        "cycles": result.cycles,
+        "evaluations": result.evaluations,
+        "stop_reason": result.stop_reason,
+        "cache": {
+            "hits": result.cache.hits,
+            "misses": result.cache.misses,
+            "hit_rate": result.cache.hit_rate,
+        },
+        "trajectory": [
+            {
+                "cycle": point.cycle,
+                "move": point.move,
+                "cost": _finite(point.cost),
+                "best_cost": _finite(point.best_cost),
+                "accepted": point.accepted,
+            }
+            for point in result.trajectory
+        ],
+    }
+
+
+def _command_explore(arguments) -> int:
+    if arguments.system is not None:
+        system = load_system(arguments.system)
+        system.graph.validate()
+        problem = ExplorationProblem.from_system(system)
+        origin = arguments.system
+    else:
+        generated = generate_system(
+            arguments.nodes, arguments.paths, seed=arguments.seed
+        )
+        problem = ExplorationProblem.from_system(generated)
+        origin = (
+            f"random system ({arguments.nodes} nodes, {arguments.paths} paths, "
+            f"seed {arguments.seed})"
+        )
+    config = ExplorationConfig(
+        seed=arguments.seed,
+        max_cycles=arguments.cycles,
+        neighbors_per_cycle=arguments.neighbors,
+        stall_cycles=arguments.stall,
+    )
+    pool = None
+    if arguments.workers > 1:
+        pool = EvaluationPool(problem, config.weights, workers=arguments.workers)
+    try:
+        explorer = Explorer(problem, config=config, pool=pool)
+        engines = ["tabu", "anneal"] if arguments.engine == "both" else [arguments.engine]
+        results = [explorer.explore(engine) for engine in engines]
+    finally:
+        if pool is not None:
+            pool.close()
+
+    if arguments.json:
+        best = min(results, key=lambda r: (r.best.cost, r.engine))
+        print(json.dumps(
+            {
+                "problem": origin,
+                "seed": arguments.seed,
+                "results": [_explore_result_dict(result) for result in results],
+                "best_engine": best.engine,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+
+    print(f"exploring {origin}")
+    print(f"  processes {len(problem.movable_processes)}, "
+          f"processors {len(problem.processor_names)}, "
+          f"workers {pool.workers if pool else 1}")
+    for result in results:
+        if not result.initial.feasible:
+            seed_text = "infeasible"
+            verdict = (
+                "feasible design point found"
+                if result.best.feasible
+                else "no feasible design point found"
+            )
+        else:
+            seed_text = f"{result.initial.delta_max:g}"
+            verdict = (
+                f"improved {result.improvement_percent:.2f}%"
+                if result.improved
+                else "no improvement found (seed mapping kept)"
+            )
+        print(f"{result.engine:>7}: delta_max {seed_text} -> "
+              f"{result.best.delta_max:g}  ({verdict})")
+        print(f"         cycles {result.cycles}, evaluations {result.evaluations}, "
+              f"cache hits {result.cache.hits} "
+              f"({100.0 * result.cache.hit_rate:.0f}%), stop: {result.stop_reason}")
+        if arguments.trajectory and result.trajectory:
+            print(format_trajectory(
+                f"  trajectory ({result.engine})", result.trajectory
+            ))
     return 0
 
 
@@ -164,11 +395,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "info":
         return _command_info(arguments.system)
     if arguments.command == "schedule":
-        return _command_schedule(arguments.system, arguments.table, arguments.validate)
+        return _command_schedule(
+            arguments.system, arguments.table, arguments.validate, arguments.json
+        )
     if arguments.command == "fig1":
         return _command_fig1()
     if arguments.command == "sweep":
-        return _command_sweep(arguments.nodes, arguments.paths, arguments.graphs)
+        return _command_sweep(
+            arguments.nodes, arguments.paths, arguments.graphs, arguments.json
+        )
+    if arguments.command == "explore":
+        return _command_explore(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")
 
 

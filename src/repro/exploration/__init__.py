@@ -1,0 +1,81 @@
+"""Design-space exploration over the merge scheduler.
+
+The source paper assumes the process-to-processor mapping arrives from an
+upstream partitioning step (Eles et al., 1997 — simulated annealing and tabu
+search); this subsystem closes that loop.  It searches the mapping/priority
+design space using the repository's schedule merger as the evaluator:
+
+* :class:`Candidate` / :class:`CostWeights` — design points and their scoring
+  (worst-case delay, mean path delay, processor load balance), behind a
+  content-hash evaluation cache (:class:`CachedEvaluator`) so revisited
+  mappings never re-run the merger;
+* :class:`NeighborhoodSampler` — remap / swap / priority-switch / priority-
+  bias moves;
+* :class:`TabuSearchEngine` and :class:`SimulatedAnnealingEngine` — seeded,
+  cycle-bounded engines behind the :class:`Explorer` facade with pluggable
+  stopping criteria;
+* :class:`EvaluationPool` — batched neighbour scoring on
+  ``concurrent.futures`` worker processes.
+
+Quick start::
+
+    from repro.exploration import ExplorationProblem, Explorer
+    from repro.generator import generate_system
+
+    problem = ExplorationProblem.from_system(generate_system(40, 8, seed=1))
+    result = Explorer(problem).explore("tabu")
+    print(result.initial.delta_max, "->", result.best.delta_max)
+"""
+
+from .candidate import Candidate
+from .cost import (
+    CandidateEvaluation,
+    CostWeights,
+    evaluate_candidate,
+    load_imbalance_of,
+)
+from .engines import (
+    ENGINES,
+    ExplorationConfig,
+    ExplorationResult,
+    Explorer,
+    MaxCycles,
+    SearchState,
+    SimulatedAnnealingEngine,
+    Stalled,
+    StoppingCriterion,
+    TabuSearchEngine,
+    TargetCost,
+    TrajectoryPoint,
+)
+from .evaluator import CachedEvaluator, CacheStats
+from .moves import Move, NeighborhoodSampler
+from .pool import EvaluationPool, default_worker_count
+from .problem import ExplorationProblem
+
+__all__ = [
+    "CacheStats",
+    "CachedEvaluator",
+    "Candidate",
+    "CandidateEvaluation",
+    "CostWeights",
+    "ENGINES",
+    "EvaluationPool",
+    "ExplorationConfig",
+    "ExplorationProblem",
+    "ExplorationResult",
+    "Explorer",
+    "MaxCycles",
+    "Move",
+    "NeighborhoodSampler",
+    "SearchState",
+    "SimulatedAnnealingEngine",
+    "Stalled",
+    "StoppingCriterion",
+    "TabuSearchEngine",
+    "TargetCost",
+    "TrajectoryPoint",
+    "default_worker_count",
+    "evaluate_candidate",
+    "load_imbalance_of",
+]

@@ -1,0 +1,145 @@
+"""Design points of the mapping/priority search space.
+
+A :class:`Candidate` is one point the explorer can evaluate: an assignment of
+every ordinary process to a processor plus the priority configuration the
+per-path list scheduler should use (one of the registered priority functions,
+optionally perturbed per process).  Candidates are immutable value objects —
+neighbourhood moves derive new candidates instead of mutating — and carry a
+stable content hash (:attr:`Candidate.fingerprint`) that keys the evaluation
+cache: two candidates describing the same design point always collide, so a
+revisited mapping never re-runs the schedule merger.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..architecture.mapping import Mapping as PEMapping
+
+DEFAULT_PRIORITY_FUNCTION = "critical_path"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One explorable design point: process-to-PE assignment + priorities.
+
+    Attributes
+    ----------
+    assignment:
+        Sorted ``(process name, processing element name)`` pairs for every
+        ordinary process.  Stored as a tuple so candidates are hashable and
+        cheap to ship across the evaluation pool.
+    priority_function:
+        Name of the registered priority function the list scheduler uses
+        (see :data:`repro.scheduling.PRIORITY_FUNCTIONS`).
+    priority_bias:
+        Sorted ``(process name, additive bias)`` pairs perturbing the computed
+        priorities; processes not listed keep their computed priority.
+    """
+
+    assignment: Tuple[Tuple[str, str], ...]
+    priority_function: str = DEFAULT_PRIORITY_FUNCTION
+    priority_bias: Tuple[Tuple[str, float], ...] = field(default=())
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_mapping(
+        cls,
+        mapping: PEMapping,
+        processes: Optional[Iterable[str]] = None,
+        priority_function: str = DEFAULT_PRIORITY_FUNCTION,
+    ) -> "Candidate":
+        """Build a candidate from an existing mapping.
+
+        ``processes`` restricts the candidate to the given process names
+        (typically the ordinary processes, excluding communications whose bus
+        assignment is derived during expansion); by default every mapped
+        process is included.
+        """
+        names = tuple(processes) if processes is not None else tuple(mapping)
+        pairs = tuple(sorted((name, mapping[name].name) for name in names))
+        return cls(assignment=pairs, priority_function=priority_function)
+
+    # -- views ---------------------------------------------------------------
+
+    @cached_property
+    def assignment_dict(self) -> Dict[str, str]:
+        """The assignment as a process name -> PE name dict."""
+        return dict(self.assignment)
+
+    @cached_property
+    def bias_dict(self) -> Dict[str, float]:
+        """The priority perturbation as a process name -> bias dict."""
+        return dict(self.priority_bias)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Stable content hash of this design point (evaluation-cache key)."""
+        digest = hashlib.sha256()
+        digest.update(self.priority_function.encode())
+        for name, pe_name in self.assignment:
+            digest.update(f"|{name}={pe_name}".encode())
+        for name, bias in self.priority_bias:
+            digest.update(f"|{name}+{bias!r}".encode())
+        return digest.hexdigest()[:20]
+
+    def pe_of(self, process_name: str) -> str:
+        return self.assignment_dict[process_name]
+
+    # -- functional updates (neighbourhood moves build on these) -------------
+
+    def reassigned(self, process_name: str, pe_name: str) -> "Candidate":
+        """Return a copy with one process moved to another processing element."""
+        updated = dict(self.assignment)
+        if process_name not in updated:
+            raise KeyError(f"process {process_name!r} is not part of the candidate")
+        updated[process_name] = pe_name
+        return replace(self, assignment=tuple(sorted(updated.items())))
+
+    def swapped(self, first: str, second: str) -> "Candidate":
+        """Return a copy with the processing elements of two processes exchanged."""
+        updated = dict(self.assignment)
+        updated[first], updated[second] = updated[second], updated[first]
+        return replace(self, assignment=tuple(sorted(updated.items())))
+
+    def with_priority_function(self, name: str) -> "Candidate":
+        """Return a copy dispatched with a different priority function."""
+        return replace(self, priority_function=name)
+
+    def with_bias(self, process_name: str, delta: float) -> "Candidate":
+        """Return a copy with ``delta`` added to one process' priority bias."""
+        bias = dict(self.priority_bias)
+        updated = bias.get(process_name, 0.0) + delta
+        if updated == 0.0:
+            bias.pop(process_name, None)
+        else:
+            bias[process_name] = updated
+        return replace(self, priority_bias=tuple(sorted(bias.items())))
+
+    def to_mapping(self, architecture) -> PEMapping:
+        """Materialise the assignment as a :class:`repro.Mapping`."""
+        mapping = PEMapping(architecture)
+        for name, pe_name in self.assignment:
+            mapping.assign(name, pe_name)
+        return mapping
+
+    def describe_difference(self, other: "Candidate") -> str:
+        """Short human-readable summary of what changed versus ``other``."""
+        changes = [
+            f"{name}->{pe}"
+            for name, pe in self.assignment
+            if other.assignment_dict.get(name) != pe
+        ]
+        if self.priority_function != other.priority_function:
+            changes.append(f"priority={self.priority_function}")
+        if self.priority_bias != other.priority_bias:
+            changed_bias = set(self.priority_bias) ^ set(other.priority_bias)
+            changes.append(f"bias({len(changed_bias)} terms)")
+        return ", ".join(changes) if changes else "unchanged"
+
+    def __str__(self) -> str:
+        return f"candidate[{self.fingerprint}]"

@@ -1,0 +1,142 @@
+"""Cost model of the design-space explorer.
+
+Scoring a candidate runs the full pipeline the repository already trusts —
+communication expansion, per-path list scheduling with the candidate's
+priority configuration, schedule merging — and condenses the result into a
+scalar cost plus its components:
+
+* ``delta_max`` — the worst-case delay of the generated schedule table, the
+  paper's primary quality metric;
+* ``mean_path_delay`` — the table-execution delay averaged over the
+  alternative paths (weights candidates that keep *every* scenario fast, not
+  only the worst one);
+* ``load_imbalance`` — how far the most loaded processor sits above the mean
+  processor load (a dimensionless ratio; 0 is perfectly balanced).
+
+Evaluations are plain frozen dataclasses of floats and strings so they travel
+unchanged through the parallel evaluation pool and the content-hash cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..architecture.mapping import MappingError
+from ..graph.communication import expand_communications
+from ..scheduling.list_scheduler import PathListScheduler, SchedulingError
+from ..scheduling.merging import MergeConflictError, ScheduleMerger
+from ..scheduling.priorities import priority_function
+from .candidate import Candidate
+from .problem import ExplorationProblem
+
+_INFEASIBLE_COST = float("inf")
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Relative weights of the cost components (see module docstring).
+
+    The default optimises ``delta_max`` alone, matching the paper's metric;
+    ``load_imbalance`` is a ratio, so its weight is interpreted in the same
+    time unit as the delays (weight 10 adds 10 time units per 100% imbalance).
+    """
+
+    delta_max: float = 1.0
+    mean_path_delay: float = 0.0
+    load_imbalance: float = 0.0
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """The scored outcome of merging one candidate's schedule table."""
+
+    fingerprint: str
+    cost: float
+    feasible: bool
+    delta_max: float = 0.0
+    delta_m: float = 0.0
+    mean_path_delay: float = 0.0
+    load_imbalance: float = 0.0
+    paths: int = 0
+    error: str = ""
+
+    @property
+    def delay_increase_percent(self) -> float:
+        if self.delta_m <= 0:
+            return 0.0
+        return 100.0 * (self.delta_max - self.delta_m) / self.delta_m
+
+
+def load_imbalance_of(problem: ExplorationProblem, candidate: Candidate) -> float:
+    """``max processor load / mean processor load - 1`` under a candidate.
+
+    Loads sum the execution time of every ordinary process on its assigned
+    processor (communications are excluded: their bus placement is derived
+    during expansion, not explored).
+    """
+    loads: Dict[str, float] = {name: 0.0 for name in problem.processor_names}
+    graph = problem.graph
+    architecture = problem.architecture
+    for name, pe_name in candidate.assignment:
+        loads[pe_name] += graph[name].duration_on(architecture[pe_name])
+    mean = sum(loads.values()) / len(loads) if loads else 0.0
+    if mean <= 0:
+        return 0.0
+    return max(loads.values()) / mean - 1.0
+
+
+def evaluate_candidate(
+    problem: ExplorationProblem,
+    candidate: Candidate,
+    weights: CostWeights = CostWeights(),
+) -> CandidateEvaluation:
+    """Score one candidate by running the merge pipeline end to end.
+
+    Infeasible candidates (unconnectable communications, unschedulable paths,
+    unresolvable merge conflicts) get infinite cost instead of raising, so a
+    search can step over them.
+    """
+    dispatch_priorities = priority_function(candidate.priority_function)
+    try:
+        mapping = problem.mapping_for(candidate)
+        expanded = expand_communications(problem.graph, mapping, problem.architecture)
+        scheduler = PathListScheduler(
+            expanded.graph,
+            expanded.mapping,
+            problem.architecture,
+            priority_function=dispatch_priorities,
+            priority_bias=candidate.bias_dict,
+        )
+        result = ScheduleMerger(
+            expanded.graph, expanded.mapping, problem.architecture, scheduler
+        ).merge()
+    except (MappingError, SchedulingError, MergeConflictError) as error:
+        return CandidateEvaluation(
+            fingerprint=candidate.fingerprint,
+            cost=_INFEASIBLE_COST,
+            feasible=False,
+            error=str(error),
+        )
+
+    path_delays = [
+        result.table.delay_of_path(expanded.graph, expanded.mapping, path)
+        for path in result.paths
+    ]
+    mean_path_delay = sum(path_delays) / len(path_delays)
+    imbalance = load_imbalance_of(problem, candidate)
+    cost = (
+        weights.delta_max * result.delta_max
+        + weights.mean_path_delay * mean_path_delay
+        + weights.load_imbalance * imbalance
+    )
+    return CandidateEvaluation(
+        fingerprint=candidate.fingerprint,
+        cost=cost,
+        feasible=True,
+        delta_max=result.delta_max,
+        delta_m=result.delta_m,
+        mean_path_delay=mean_path_delay,
+        load_imbalance=imbalance,
+        paths=len(result.paths),
+    )

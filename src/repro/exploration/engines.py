@@ -1,0 +1,420 @@
+"""Search engines: cycle-bounded tabu search and simulated annealing.
+
+Both engines sit behind the same :class:`Explorer` facade and share every
+layer below them — the :class:`~repro.exploration.NeighborhoodSampler`, the
+:class:`~repro.exploration.CachedEvaluator` (one per explorer, so consecutive
+``explore`` calls share cache hits) and the optional parallel
+:class:`~repro.exploration.EvaluationPool`.  A seed fully determines a run:
+the engines draw all randomness from one ``random.Random`` and the evaluation
+layer is pure, so the best candidate *and* the cycle-by-cycle trajectory are
+reproducible.
+
+Engine sketches
+---------------
+Tabu search (cf. the post-optimiser layering of the TimeTableGenerator
+exemplar): each cycle scores one neighbourhood batch, moves to the best
+admissible neighbour — not on the tabu list, unless it beats the global best
+(aspiration) — and marks the chosen design point tabu for ``tabu_tenure``
+cycles.
+
+Simulated annealing: each cycle scores a batch of proposals around the
+current point (batched so the pool parallelises them), then walks the batch
+in order, accepting improvements always and uphill moves with probability
+``exp(-delta / T)``; the temperature cools geometrically per proposal.
+
+Stopping is pluggable: criteria are callables inspecting the running
+:class:`SearchState`; the first non-None reason ends the search.  The cycle
+budget itself is a criterion (:class:`MaxCycles`), as are stagnation
+(:class:`Stalled`) and cost targets (:class:`TargetCost`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+from .candidate import Candidate
+from .cost import CandidateEvaluation, CostWeights
+from .evaluator import CachedEvaluator, CacheStats
+from .moves import DEFAULT_PRIORITY_CHOICES, NeighborhoodSampler
+from .pool import EvaluationPool
+from .problem import ExplorationProblem
+
+
+@dataclass(frozen=True)
+class ExplorationConfig:
+    """Shared knobs of both engines (engine-specific ones are prefixed)."""
+
+    seed: int = 0
+    max_cycles: int = 40
+    neighbors_per_cycle: int = 8
+    stall_cycles: int = 0  # 0 disables the stagnation criterion
+    target_cost: Optional[float] = None
+    priority_choices: Tuple[str, ...] = DEFAULT_PRIORITY_CHOICES
+    weights: CostWeights = field(default_factory=CostWeights)
+    # tabu search
+    tabu_tenure: int = 12
+    # simulated annealing
+    initial_temperature: Optional[float] = None  # None: 5% of the initial cost
+    cooling: float = 0.97
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One cycle of a search, as reported in best-candidate trajectories."""
+
+    cycle: int
+    move: str
+    cost: float
+    best_cost: float
+    accepted: int
+
+
+@dataclass
+class SearchState:
+    """What stopping criteria may inspect while a search runs."""
+
+    cycle: int = 0
+    evaluations: int = 0
+    cycles_since_improvement: int = 0
+    best_cost: float = math.inf
+
+
+#: A stopping criterion returns the reason to stop, or None to continue.
+StoppingCriterion = Callable[[SearchState], Optional[str]]
+
+
+class MaxCycles:
+    """Stop after a fixed number of cycles (the bounded cycle budget)."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+
+    def __call__(self, state: SearchState) -> Optional[str]:
+        if state.cycle >= self.limit:
+            return f"cycle budget exhausted ({self.limit})"
+        return None
+
+
+class Stalled:
+    """Stop after ``limit`` consecutive cycles without improving the best."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+
+    def __call__(self, state: SearchState) -> Optional[str]:
+        if state.cycles_since_improvement >= self.limit:
+            return f"stalled for {self.limit} cycles"
+        return None
+
+
+class TargetCost:
+    """Stop as soon as the best cost reaches a target."""
+
+    def __init__(self, target: float) -> None:
+        self.target = target
+
+    def __call__(self, state: SearchState) -> Optional[str]:
+        if state.best_cost <= self.target:
+            return f"target cost {self.target:g} reached"
+        return None
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one ``Explorer.explore`` call produced."""
+
+    engine: str
+    initial_candidate: Candidate
+    initial: CandidateEvaluation
+    best_candidate: Candidate
+    best: CandidateEvaluation
+    trajectory: List[TrajectoryPoint]
+    cycles: int
+    evaluations: int
+    stop_reason: str
+    cache: CacheStats
+
+    @property
+    def improved(self) -> bool:
+        return self.best.cost < self.initial.cost - 1e-9
+
+    @property
+    def improvement_percent(self) -> float:
+        """How far the best candidate undercuts the seed design point."""
+        if self.initial.cost <= 0 or not math.isfinite(self.initial.cost):
+            return 0.0
+        return 100.0 * (self.initial.cost - self.best.cost) / self.initial.cost
+
+
+class _EngineBase:
+    name = "base"
+
+    def __init__(
+        self,
+        config: ExplorationConfig,
+        evaluator: CachedEvaluator,
+        sampler: NeighborhoodSampler,
+        stopping: Sequence[StoppingCriterion],
+    ) -> None:
+        self._config = config
+        self._evaluator = evaluator
+        self._sampler = sampler
+        self._stopping = list(stopping)
+
+    # -- common plumbing -----------------------------------------------------
+
+    def _stop_reason(self, state: SearchState) -> Optional[str]:
+        for criterion in self._stopping:
+            reason = criterion(state)
+            if reason is not None:
+                return reason
+        return None
+
+    def run(self, initial: Candidate) -> ExplorationResult:
+        raise NotImplementedError
+
+
+class TabuSearchEngine(_EngineBase):
+    """Best-admissible-neighbour descent with a fingerprint tabu list."""
+
+    name = "tabu"
+
+    def run(self, initial: Candidate) -> ExplorationResult:
+        config = self._config
+        rng = random.Random(config.seed)
+        current, current_eval = initial, self._evaluator.evaluate(initial)
+        initial_eval = current_eval
+        best, best_eval = current, current_eval
+        tabu: deque = deque(maxlen=max(1, config.tabu_tenure))
+        tabu.append(current.fingerprint)
+        trajectory: List[TrajectoryPoint] = []
+        state = SearchState(evaluations=1, best_cost=best_eval.cost)
+
+        reason = self._stop_reason(state)
+        while reason is None:
+            neighbors = self._sampler.sample(
+                current, rng, config.neighbors_per_cycle
+            )
+            if not neighbors:
+                reason = "no distinct neighbors"
+                break
+            evaluations = self._evaluator.evaluate_many(
+                [candidate for _, candidate in neighbors]
+            )
+            state.evaluations += len(neighbors)
+
+            chosen: Optional[Tuple] = None  # (cost, fingerprint, move, cand, eval)
+            fallback: Optional[Tuple] = None
+            for (move, candidate), evaluation in zip(neighbors, evaluations):
+                if not evaluation.feasible:
+                    continue
+                key = (evaluation.cost, candidate.fingerprint)
+                admissible = (
+                    candidate.fingerprint not in tabu
+                    or evaluation.cost < best_eval.cost  # aspiration
+                )
+                entry = key + (move, candidate, evaluation)
+                if admissible and (chosen is None or key < chosen[:2]):
+                    chosen = entry
+                if fallback is None or key < fallback[:2]:
+                    fallback = entry
+            if chosen is None:
+                chosen = fallback  # every neighbour tabu: take the best anyway
+            if chosen is None:
+                reason = "no feasible neighbors"
+                break
+
+            _, _, move, current, current_eval = chosen
+            tabu.append(current.fingerprint)
+            state.cycle += 1
+            if current_eval.cost < best_eval.cost - 1e-9:
+                best, best_eval = current, current_eval
+                state.cycles_since_improvement = 0
+                state.best_cost = best_eval.cost
+            else:
+                state.cycles_since_improvement += 1
+            trajectory.append(
+                TrajectoryPoint(
+                    cycle=state.cycle,
+                    move=move.describe(),
+                    cost=current_eval.cost,
+                    best_cost=best_eval.cost,
+                    accepted=1,
+                )
+            )
+            reason = self._stop_reason(state)
+
+        return ExplorationResult(
+            engine=self.name,
+            initial_candidate=initial,
+            initial=initial_eval,
+            best_candidate=best,
+            best=best_eval,
+            trajectory=trajectory,
+            cycles=state.cycle,
+            evaluations=state.evaluations,
+            stop_reason=reason or "stopped",
+            cache=self._evaluator.stats,
+        )
+
+
+class SimulatedAnnealingEngine(_EngineBase):
+    """Metropolis acceptance over batched neighbour proposals."""
+
+    name = "anneal"
+
+    def run(self, initial: Candidate) -> ExplorationResult:
+        config = self._config
+        rng = random.Random(config.seed)
+        current, current_eval = initial, self._evaluator.evaluate(initial)
+        best, best_eval = current, current_eval
+        initial_eval = current_eval
+        temperature = config.initial_temperature
+        if temperature is None:
+            scale = initial_eval.cost if math.isfinite(initial_eval.cost) else 1.0
+            temperature = max(1e-9, 0.05 * scale)
+        trajectory: List[TrajectoryPoint] = []
+        state = SearchState(evaluations=1, best_cost=best_eval.cost)
+
+        reason = self._stop_reason(state)
+        while reason is None:
+            proposals = self._sampler.sample(
+                current, rng, config.neighbors_per_cycle
+            )
+            if not proposals:
+                reason = "no distinct neighbors"
+                break
+            evaluations = self._evaluator.evaluate_many(
+                [candidate for _, candidate in proposals]
+            )
+            state.evaluations += len(proposals)
+
+            accepted = 0
+            last_move = "-"
+            for (move, candidate), evaluation in zip(proposals, evaluations):
+                # Proposals were drawn around the cycle's entry point; the
+                # acceptance walk is still sequential, so a batch behaves
+                # like neighbors_per_cycle restarts of the same origin.
+                delta = evaluation.cost - current_eval.cost
+                accept = evaluation.feasible and (
+                    delta <= 0
+                    or (
+                        temperature > 0
+                        and rng.random() < math.exp(-delta / temperature)
+                    )
+                )
+                temperature *= config.cooling
+                if not accept:
+                    continue
+                accepted += 1
+                last_move = move.describe()
+                current, current_eval = candidate, evaluation
+                if current_eval.cost < best_eval.cost - 1e-9:
+                    best, best_eval = current, current_eval
+                    state.best_cost = best_eval.cost
+                    state.cycles_since_improvement = -1  # reset below
+            state.cycle += 1
+            if state.cycles_since_improvement < 0:
+                state.cycles_since_improvement = 0
+            else:
+                state.cycles_since_improvement += 1
+            trajectory.append(
+                TrajectoryPoint(
+                    cycle=state.cycle,
+                    move=last_move,
+                    cost=current_eval.cost,
+                    best_cost=best_eval.cost,
+                    accepted=accepted,
+                )
+            )
+            reason = self._stop_reason(state)
+
+        return ExplorationResult(
+            engine=self.name,
+            initial_candidate=initial,
+            initial=initial_eval,
+            best_candidate=best,
+            best=best_eval,
+            trajectory=trajectory,
+            cycles=state.cycle,
+            evaluations=state.evaluations,
+            stop_reason=reason or "stopped",
+            cache=self._evaluator.stats,
+        )
+
+
+ENGINES: Dict[str, type] = {
+    TabuSearchEngine.name: TabuSearchEngine,
+    SimulatedAnnealingEngine.name: SimulatedAnnealingEngine,
+}
+
+
+class Explorer:
+    """One facade over both engines, sharing evaluator, cache and pool.
+
+    Typical use::
+
+        problem = ExplorationProblem.from_system(generate_system(40, 8, seed=1))
+        explorer = Explorer(problem, config=ExplorationConfig(seed=1))
+        result = explorer.explore("tabu")
+
+    Consecutive ``explore`` calls reuse the evaluator, so comparing engines on
+    the same problem pays for each distinct design point once.
+    """
+
+    def __init__(
+        self,
+        problem: ExplorationProblem,
+        config: Optional[ExplorationConfig] = None,
+        evaluator: Optional[CachedEvaluator] = None,
+        pool: Optional[EvaluationPool] = None,
+        stopping: Optional[Sequence[StoppingCriterion]] = None,
+    ) -> None:
+        self._problem = problem
+        self._config = config or ExplorationConfig()
+        self._evaluator = evaluator or CachedEvaluator(
+            problem, self._config.weights, pool=pool
+        )
+        self._sampler = NeighborhoodSampler(
+            problem, priority_choices=self._config.priority_choices
+        )
+        self._extra_stopping = list(stopping or ())
+
+    @property
+    def evaluator(self) -> CachedEvaluator:
+        return self._evaluator
+
+    @property
+    def config(self) -> ExplorationConfig:
+        return self._config
+
+    def _stopping_criteria(self) -> List[StoppingCriterion]:
+        criteria: List[StoppingCriterion] = [MaxCycles(self._config.max_cycles)]
+        if self._config.stall_cycles > 0:
+            criteria.append(Stalled(self._config.stall_cycles))
+        if self._config.target_cost is not None:
+            criteria.append(TargetCost(self._config.target_cost))
+        criteria.extend(self._extra_stopping)
+        return criteria
+
+    def explore(
+        self, engine: str = "tabu", initial: Optional[Candidate] = None
+    ) -> ExplorationResult:
+        """Run one engine from the seed mapping (or a given candidate)."""
+        try:
+            engine_cls = ENGINES[engine]
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+            ) from None
+        if initial is None:
+            initial = self._problem.initial_candidate()
+        runner = engine_cls(
+            self._config, self._evaluator, self._sampler, self._stopping_criteria()
+        )
+        return runner.run(initial)

@@ -1,0 +1,135 @@
+"""Content-hash evaluation cache in front of the merge pipeline.
+
+Local search revisits design points constantly — a swap undone two moves
+later, simulated annealing bouncing around a basin, a second engine re-walking
+the region the first one covered.  The :class:`CachedEvaluator` keys every
+evaluation on the candidate's content hash (:attr:`Candidate.fingerprint`), so
+a revisited mapping/priority configuration never re-runs communication
+expansion, per-path scheduling or schedule merging.
+
+Batches are deduplicated *before* they reach the (possibly parallel)
+evaluation pool: within one neighbourhood batch, duplicated candidates are
+evaluated once; across batches, the cache answers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .candidate import Candidate
+from .cost import CandidateEvaluation, CostWeights, evaluate_candidate
+from .pool import EvaluationPool
+from .problem import ExplorationProblem
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one evaluator (misses = actual merge runs)."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachedEvaluator:
+    """Evaluates candidates through a fingerprint-keyed cache.
+
+    Parameters
+    ----------
+    problem:
+        The exploration problem supplying the evaluation pipeline.
+    weights:
+        Cost weights (must match the pool's weights when one is given).
+    pool:
+        Optional :class:`EvaluationPool` scoring cache misses in parallel.
+        Its weights must equal ``weights`` (checked at construction — worker
+        processes score with the pool's weights, so a mismatch would silently
+        optimise the wrong objective); without a pool, misses are evaluated
+        serially in-process.
+    cache:
+        Set to False to disable caching (used by benchmarks to measure the
+        naive re-evaluation baseline; every request then runs the merger).
+    """
+
+    def __init__(
+        self,
+        problem: ExplorationProblem,
+        weights: CostWeights = CostWeights(),
+        pool: Optional[EvaluationPool] = None,
+        cache: bool = True,
+    ) -> None:
+        if pool is not None and pool.weights != weights:
+            raise ValueError(
+                f"pool weights {pool.weights} differ from evaluator weights "
+                f"{weights}; the search would optimise the wrong objective"
+            )
+        self._problem = problem
+        self._weights = weights
+        self._pool = pool
+        self._enabled = cache
+        self._cache: Dict[str, CandidateEvaluation] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def problem(self) -> ExplorationProblem:
+        return self._problem
+
+    @property
+    def weights(self) -> CostWeights:
+        return self._weights
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(self._hits, self._misses, len(self._cache))
+
+    # -- scoring -------------------------------------------------------------
+
+    def evaluate(self, candidate: Candidate) -> CandidateEvaluation:
+        """Score one candidate (cache probe first)."""
+        return self.evaluate_many([candidate])[0]
+
+    def evaluate_many(
+        self, candidates: Sequence[Candidate]
+    ) -> List[CandidateEvaluation]:
+        """Score a batch, returning evaluations in input order.
+
+        Cache misses are deduplicated by fingerprint and sent to the pool as
+        one batch (or evaluated serially without a pool).
+        """
+        if not self._enabled:
+            self._misses += len(candidates)
+            return self._evaluate_fresh(list(candidates))
+
+        fresh: List[Candidate] = []
+        fresh_keys: Dict[str, int] = {}
+        for candidate in candidates:
+            key = candidate.fingerprint
+            if key in self._cache:
+                self._hits += 1
+            elif key in fresh_keys:
+                self._hits += 1
+            else:
+                fresh_keys[key] = len(fresh)
+                fresh.append(candidate)
+                self._misses += 1
+        if fresh:
+            for candidate, evaluation in zip(fresh, self._evaluate_fresh(fresh)):
+                self._cache[candidate.fingerprint] = evaluation
+        return [self._cache[candidate.fingerprint] for candidate in candidates]
+
+    def _evaluate_fresh(
+        self, candidates: List[Candidate]
+    ) -> List[CandidateEvaluation]:
+        if self._pool is not None:
+            return self._pool.evaluate(candidates)
+        return [
+            evaluate_candidate(self._problem, candidate, self._weights)
+            for candidate in candidates
+        ]

@@ -1,0 +1,154 @@
+"""Neighbourhood moves over the mapping/priority design space.
+
+Four move kinds span the space the explorer searches:
+
+* ``remap``    — move one process to a different processor;
+* ``swap``     — exchange the processors of two processes;
+* ``priority`` — switch the list scheduler to another registered priority
+  function;
+* ``bias``     — perturb the dispatch priority of one process by a small
+  additive step (ties the explorer into the scheduler's secondary degrees of
+  freedom, not only the mapping).
+
+Moves are small frozen descriptions (kind + operands) applied functionally:
+``move.apply(candidate)`` derives the neighbour without mutating the origin.
+The :class:`NeighborhoodSampler` draws a batch of *distinct* neighbours from a
+seeded ``random.Random``, which is the only source of randomness in a search —
+the evaluation itself is deterministic, so a seed fully determines a run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .candidate import Candidate
+from .problem import ExplorationProblem
+
+DEFAULT_PRIORITY_CHOICES: Tuple[str, ...] = (
+    "critical_path",
+    "upward_rank",
+    "static_order",
+)
+
+#: Relative draw frequency of the move kinds (mapping moves dominate: they
+#: change the communication structure, which is where the big wins are).
+_MOVE_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("remap", 0.45),
+    ("swap", 0.25),
+    ("bias", 0.2),
+    ("priority", 0.1),
+)
+
+
+@dataclass(frozen=True)
+class Move:
+    """One neighbourhood move: a kind plus its operands."""
+
+    kind: str
+    operands: Tuple = ()
+
+    def apply(self, candidate: Candidate) -> Candidate:
+        if self.kind == "remap":
+            process, pe_name = self.operands
+            return candidate.reassigned(process, pe_name)
+        if self.kind == "swap":
+            first, second = self.operands
+            return candidate.swapped(first, second)
+        if self.kind == "priority":
+            (name,) = self.operands
+            return candidate.with_priority_function(name)
+        if self.kind == "bias":
+            process, delta = self.operands
+            return candidate.with_bias(process, delta)
+        raise ValueError(f"unknown move kind {self.kind!r}")
+
+    def describe(self) -> str:
+        if self.kind == "remap":
+            process, pe_name = self.operands
+            return f"remap {process} -> {pe_name}"
+        if self.kind == "swap":
+            first, second = self.operands
+            return f"swap {first} <-> {second}"
+        if self.kind == "priority":
+            return f"priority -> {self.operands[0]}"
+        if self.kind == "bias":
+            process, delta = self.operands
+            return f"bias {process} {delta:+g}"
+        return self.kind
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class NeighborhoodSampler:
+    """Draws batches of distinct neighbour candidates around a design point."""
+
+    def __init__(
+        self,
+        problem: ExplorationProblem,
+        priority_choices: Sequence[str] = DEFAULT_PRIORITY_CHOICES,
+        bias_steps: Sequence[float] = (-4.0, -1.0, 1.0, 4.0),
+    ) -> None:
+        if len(problem.processor_names) < 1:
+            raise ValueError("the problem has no processors to map onto")
+        self._problem = problem
+        self._priority_choices = tuple(priority_choices)
+        self._bias_steps = tuple(bias_steps)
+        self._kinds = [kind for kind, _ in _MOVE_WEIGHTS]
+        self._weights = [weight for _, weight in _MOVE_WEIGHTS]
+
+    def _draw(self, candidate: Candidate, rng: random.Random) -> Optional[Move]:
+        kind = rng.choices(self._kinds, weights=self._weights, k=1)[0]
+        processes = self._problem.movable_processes
+        processors = self._problem.processor_names
+        if kind == "remap" and len(processors) > 1:
+            process = rng.choice(processes)
+            targets = [pe for pe in processors if pe != candidate.pe_of(process)]
+            return Move("remap", (process, rng.choice(targets)))
+        if kind == "swap" and len(processes) > 1:
+            first, second = rng.sample(processes, 2)
+            if candidate.pe_of(first) != candidate.pe_of(second):
+                return Move("swap", (first, second))
+            return None
+        if kind == "priority" and len(self._priority_choices) > 1:
+            others = [
+                name
+                for name in self._priority_choices
+                if name != candidate.priority_function
+            ]
+            return Move("priority", (rng.choice(others),))
+        if kind == "bias":
+            process = rng.choice(processes)
+            return Move("bias", (process, rng.choice(self._bias_steps)))
+        return None
+
+    def sample(
+        self,
+        candidate: Candidate,
+        rng: random.Random,
+        count: int,
+        attempts_per_neighbor: int = 8,
+    ) -> List[Tuple[Move, Candidate]]:
+        """Draw up to ``count`` neighbours with pairwise-distinct fingerprints.
+
+        Draws that produce no-ops (swapping two processes already co-located,
+        remapping on a single-processor architecture) or duplicate an earlier
+        neighbour are retried a bounded number of times, so degenerate design
+        spaces yield short batches instead of looping forever.
+        """
+        neighbors: List[Tuple[Move, Candidate]] = []
+        seen = {candidate.fingerprint}
+        budget = count * attempts_per_neighbor
+        while len(neighbors) < count and budget > 0:
+            budget -= 1
+            move = self._draw(candidate, rng)
+            if move is None:
+                continue
+            neighbor = move.apply(candidate)
+            if neighbor.fingerprint in seen:
+                continue
+            seen.add(neighbor.fingerprint)
+            neighbors.append((move, neighbor))
+        return neighbors

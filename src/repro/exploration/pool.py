@@ -1,0 +1,143 @@
+"""Parallel candidate evaluation on top of ``concurrent.futures``.
+
+Scoring a candidate is an independent, pure computation (expand + schedule +
+merge), so a neighbourhood batch parallelises perfectly.  The pool ships the
+problem to each worker **once** — as the repository's JSON system-description
+payload, rebuilt by the worker initialiser — and then streams small candidate
+tuples; evaluations come back as flat dataclasses of floats.  No scheduler
+state, graph object or condition-universe bitmask ever crosses the process
+boundary, so worker-side bit interning stays internally consistent.
+
+Modes
+-----
+``process``
+    One ``ProcessPoolExecutor`` worker per core (default on multi-core
+    hosts).  Chunked submission amortises IPC per batch.
+``thread``
+    A ``ThreadPoolExecutor``; the evaluation is pure Python so threads do not
+    scale, but the mode is useful to exercise the batching machinery without
+    process start-up cost (tests, small batches).
+``serial``
+    In-process loop (default on single-core hosts; also the fallback when a
+    batch is smaller than two candidates).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from .candidate import Candidate
+from .cost import CandidateEvaluation, CostWeights, evaluate_candidate
+from .problem import ExplorationProblem
+
+# Worker-process globals, set once per worker by _initialise_worker.
+_WORKER_PROBLEM: Optional[ExplorationProblem] = None
+_WORKER_WEIGHTS: Optional[CostWeights] = None
+
+
+def _initialise_worker(payload: Dict[str, Any], weights: CostWeights) -> None:
+    global _WORKER_PROBLEM, _WORKER_WEIGHTS
+    _WORKER_PROBLEM = ExplorationProblem.from_payload(payload)
+    _WORKER_WEIGHTS = weights
+
+
+def _evaluate_in_worker(candidate: Candidate) -> CandidateEvaluation:
+    assert _WORKER_PROBLEM is not None and _WORKER_WEIGHTS is not None
+    return evaluate_candidate(_WORKER_PROBLEM, candidate, _WORKER_WEIGHTS)
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is requested: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+class EvaluationPool:
+    """Batched scoring of candidates, optionally across worker processes.
+
+    The pool is lazy: no executor exists until the first batch that can use
+    one, and ``close()`` (or use as a context manager) tears it down.  Results
+    are always returned in submission order, so search engines stay
+    deterministic regardless of worker scheduling.
+    """
+
+    def __init__(
+        self,
+        problem: ExplorationProblem,
+        weights: CostWeights = CostWeights(),
+        workers: Optional[int] = None,
+        mode: str = "auto",
+    ) -> None:
+        if mode not in ("auto", "serial", "thread", "process"):
+            raise ValueError(
+                f"unknown pool mode {mode!r}; choose auto, serial, thread or process"
+            )
+        self._problem = problem
+        self._weights = weights
+        self._workers = workers if workers is not None else default_worker_count()
+        if mode == "auto":
+            mode = "process" if self._workers > 1 else "serial"
+        self._mode = mode
+        self._executor: Optional[Executor] = None
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def weights(self) -> CostWeights:
+        return self._weights
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self._mode == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    initializer=_initialise_worker,
+                    initargs=(self._problem.to_payload(), self._weights),
+                )
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self._workers)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- scoring -------------------------------------------------------------
+
+    def evaluate(self, candidates: Sequence[Candidate]) -> List[CandidateEvaluation]:
+        """Score a batch, in submission order."""
+        if self._mode == "serial" or len(candidates) < 2:
+            return [
+                evaluate_candidate(self._problem, candidate, self._weights)
+                for candidate in candidates
+            ]
+        executor = self._ensure_executor()
+        if self._mode == "process":
+            chunksize = max(1, len(candidates) // (self._workers * 4))
+            return list(
+                executor.map(_evaluate_in_worker, candidates, chunksize=chunksize)
+            )
+        return list(
+            executor.map(
+                lambda candidate: evaluate_candidate(
+                    self._problem, candidate, self._weights
+                ),
+                candidates,
+            )
+        )

@@ -1,0 +1,137 @@
+"""The design-space exploration problem: what is searched and how it is scored.
+
+An :class:`ExplorationProblem` bundles the *process-level* conditional process
+graph (communications not yet expanded — they depend on the mapping being
+explored), the target architecture and the seed mapping the search starts
+from.  It knows how to materialise any :class:`~repro.exploration.Candidate`
+into the full evaluation pipeline of the repository:
+
+    candidate -> Mapping -> expand_communications -> PathListScheduler
+              -> ScheduleMerger.merge -> cost components
+
+Problems serialise to the repository's JSON system-description format
+(:func:`repro.io.system_to_dict`), which is how the parallel evaluation pool
+ships them to worker processes: each worker rebuilds the problem once from the
+payload and then evaluates small candidate tuples, so no scheduler state (and
+no condition-universe bitmask) ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..architecture.architecture import Architecture
+from ..architecture.mapping import Mapping
+from ..graph.cpg import ConditionalProcessGraph
+from ..io.serialization import system_from_dict, system_to_dict
+from .candidate import DEFAULT_PRIORITY_FUNCTION, Candidate
+
+
+class ExplorationProblem:
+    """A mapping/priority design space over one system.
+
+    Parameters
+    ----------
+    graph:
+        The process-level conditional process graph (no communication
+        processes; edges carry their communication times).
+    mapping:
+        The seed mapping of every ordinary process (e.g. produced upstream by
+        partitioning, or by the random generator).
+    architecture:
+        Defaults to ``mapping.architecture``.
+    """
+
+    def __init__(
+        self,
+        graph: ConditionalProcessGraph,
+        mapping: Mapping,
+        architecture: Optional[Architecture] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self._graph = graph
+        self._architecture = architecture or mapping.architecture
+        self._base_mapping = mapping
+        self.name = name or graph.name
+        self._movable: Tuple[str, ...] = tuple(
+            process.name for process in graph.ordinary_processes
+        )
+        self._processors: Tuple[str, ...] = tuple(
+            pe.name for pe in self._architecture.processors
+        )
+
+    # -- construction shortcuts ---------------------------------------------
+
+    @classmethod
+    def from_system(cls, system: Any, name: Optional[str] = None) -> "ExplorationProblem":
+        """Build a problem from a generated or deserialised system.
+
+        Accepts a :class:`repro.generator.GeneratedSystem` (uses its
+        process-level graph) or a :class:`repro.io.SystemDescription`.
+        """
+        if hasattr(system, "process_graph"):  # GeneratedSystem
+            return cls(
+                system.process_graph,
+                system.mapping,
+                system.architecture,
+                name=name,
+            )
+        return cls(system.graph, system.mapping, system.architecture, name=name)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def graph(self) -> ConditionalProcessGraph:
+        return self._graph
+
+    @property
+    def architecture(self) -> Architecture:
+        return self._architecture
+
+    @property
+    def base_mapping(self) -> Mapping:
+        return self._base_mapping
+
+    @property
+    def movable_processes(self) -> Tuple[str, ...]:
+        """Names of the processes whose mapping the explorer may change."""
+        return self._movable
+
+    @property
+    def processor_names(self) -> Tuple[str, ...]:
+        """Names of the non-bus processing elements candidates may use."""
+        return self._processors
+
+    def initial_candidate(
+        self, priority_function: str = DEFAULT_PRIORITY_FUNCTION
+    ) -> Candidate:
+        """The search's starting point: the seed mapping, unperturbed priorities."""
+        return Candidate.from_mapping(
+            self._base_mapping, self._movable, priority_function
+        )
+
+    def mapping_for(self, candidate: Candidate) -> Mapping:
+        """Materialise a candidate's assignment as a validated Mapping."""
+        mapping = candidate.to_mapping(self._architecture)
+        mapping.validate_for(self._movable)
+        return mapping
+
+    # -- worker transport ----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Serialise to the JSON system-description document (picklable)."""
+        return system_to_dict(
+            self._graph, self._architecture, self._base_mapping, name=self.name
+        )
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ExplorationProblem":
+        """Rebuild a problem from :meth:`to_payload` output (in a worker)."""
+        system = system_from_dict(payload)
+        return cls(system.graph, system.mapping, system.architecture, name=system.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationProblem(name={self.name!r}, "
+            f"processes={len(self._movable)}, processors={len(self._processors)})"
+        )

@@ -11,8 +11,12 @@ The package contains the two halves of the paper's scheduling strategy:
 from .list_scheduler import PathListScheduler, SchedulingError
 from .merging import MergeConflictError, MergeResult, ScheduleMerger, merge_schedules
 from .priorities import (
+    PRIORITY_FUNCTIONS,
+    PriorityFunction,
     critical_path_priorities,
+    priority_function,
     static_order_priorities,
+    topological_order_priorities,
     upward_rank_priorities,
 )
 from .schedule import PathSchedule, ScheduledTask
@@ -24,8 +28,10 @@ __all__ = [
     "MergeConflictError",
     "MergeResult",
     "MergeTrace",
+    "PRIORITY_FUNCTIONS",
     "PathListScheduler",
     "PathSchedule",
+    "PriorityFunction",
     "ScheduleMerger",
     "ScheduleTable",
     "ScheduleTableError",
@@ -34,6 +40,8 @@ __all__ = [
     "TableEntry",
     "critical_path_priorities",
     "merge_schedules",
+    "priority_function",
     "static_order_priorities",
+    "topological_order_priorities",
     "upward_rank_priorities",
 ]

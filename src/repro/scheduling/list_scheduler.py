@@ -40,7 +40,7 @@ from ..architecture.processing_element import ProcessingElement
 from ..conditions import Condition
 from ..graph.cpg import ConditionalProcessGraph
 from ..graph.paths import AlternativePath
-from .priorities import critical_path_priorities
+from .priorities import PriorityFunction, critical_path_priorities
 from .schedule import PathSchedule, ScheduledTask
 
 _EPSILON = 1e-9
@@ -133,11 +133,20 @@ class PathListScheduler:
         Mapping of every non-dummy process to its processing element.
     architecture:
         The target architecture (provides buses and ``tau0``).
+    priority_function:
+        The priority function used when :meth:`schedule` is called without
+        explicit ``priorities`` (default: partial critical path).  Injectable
+        so the design-space explorer can switch among the registered
+        functions without touching the dispatch engine.
+    priority_bias:
+        Optional per-process additive perturbation applied on top of the
+        computed default priorities (an explorer move; absent processes get
+        bias 0).
 
     The scheduler caches the dependency structure and default priorities of
     every path it sees, keyed on the path's label and active set; it assumes
-    the graph and the mapping do not change between calls (build a new
-    scheduler after remapping).
+    the graph, the mapping and the priority configuration do not change
+    between calls (build a new scheduler after remapping).
     """
 
     def __init__(
@@ -145,10 +154,14 @@ class PathListScheduler:
         graph: ConditionalProcessGraph,
         mapping: Mapping,
         architecture: Optional[Architecture] = None,
+        priority_function: Optional[PriorityFunction] = None,
+        priority_bias: Optional[Dict[str, float]] = None,
     ) -> None:
         self._graph = graph
         self._mapping = mapping
         self._architecture = architecture or mapping.architecture
+        self._priority_function = priority_function or critical_path_priorities
+        self._priority_bias = dict(priority_bias or {})
         self._disjunctions = graph.disjunction_processes()
         self._guards = graph.guards()
         self._path_cache: Dict[tuple, _PathContext] = {}
@@ -207,9 +220,13 @@ class PathListScheduler:
         context = self._context_for(path)
         if priorities is None:
             if context.default_priorities is None:
-                context.default_priorities = critical_path_priorities(
-                    self._graph, path, self._mapping
-                )
+                computed = self._priority_function(self._graph, path, self._mapping)
+                if self._priority_bias:
+                    computed = {
+                        name: value + self._priority_bias.get(name, 0.0)
+                        for name, value in computed.items()
+                    }
+                context.default_priorities = computed
             priorities = context.default_priorities
 
         active = context.active

@@ -10,11 +10,18 @@ critical path are dispatched first.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..architecture.mapping import Mapping
 from ..graph.cpg import ConditionalProcessGraph
 from ..graph.paths import AlternativePath
+
+#: Uniform signature of an injectable priority function: given the expanded
+#: graph, one alternative path and the mapping, produce the dispatch priority
+#: of every process active on the path (larger = dispatched first).
+PriorityFunction = Callable[
+    [ConditionalProcessGraph, AlternativePath, Mapping], Dict[str, float]
+]
 
 
 def critical_path_priorities(
@@ -64,6 +71,10 @@ def static_order_priorities(
     Used by the schedule-adjustment step of the merging algorithm, which must
     keep the relative order of unlocked processes as in the original per-path
     schedule.
+
+    Not what the ``"static_order"`` registry entry resolves to: this function
+    needs a caller-supplied order, so the registry binds that name to
+    :func:`topological_order_priorities` (the graph's own static order).
     """
     if order is None:
         return {name: 0.0 for name in path.active_processes}
@@ -71,3 +82,42 @@ def static_order_priorities(
     return {
         name: largest - order.get(name, largest) for name in path.active_processes
     }
+
+
+def topological_order_priorities(
+    graph: ConditionalProcessGraph,
+    path: AlternativePath,
+    mapping: Mapping,
+) -> Dict[str, float]:
+    """Priorities that dispatch ready processes in topological order.
+
+    The simplest member of the registry: earlier processes in the graph's
+    topological order get larger priorities, so ties between ready processes
+    are broken by graph position instead of path length.  Mainly useful as a
+    cheap ablation point for the design-space explorer.
+    """
+    position = {name: index for index, name in enumerate(graph.topological_order())}
+    total = float(len(position))
+    return {name: total - position[name] for name in path.active_processes}
+
+
+#: Registry of the named priority functions the design-space explorer (and any
+#: other caller) can switch between.  All entries share the
+#: :data:`PriorityFunction` signature; :func:`static_order_priorities` is not
+#: listed because it reproduces a *given* order rather than computing one.
+PRIORITY_FUNCTIONS: Dict[str, PriorityFunction] = {
+    "critical_path": critical_path_priorities,
+    "upward_rank": upward_rank_priorities,
+    "static_order": topological_order_priorities,
+}
+
+
+def priority_function(name: str) -> PriorityFunction:
+    """Look up a registered priority function by name."""
+    try:
+        return PRIORITY_FUNCTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority function {name!r}; "
+            f"choose from {sorted(PRIORITY_FUNCTIONS)}"
+        ) from None

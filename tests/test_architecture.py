@@ -204,3 +204,37 @@ class TestMapping:
         arch = simple_architecture(1, 0, 1)
         mapping = Mapping(arch, {"P1": arch["pe1"]})
         assert dict(mapping.items()) == {"P1": arch["pe1"]}
+
+    def test_assign_unknown_name_rejected(self):
+        arch = simple_architecture(1, 0, 1)
+        with pytest.raises(MappingError):
+            Mapping(arch).assign("P1", "nonexistent")
+
+    def test_processes_on_accepts_names(self):
+        arch = simple_architecture(2, 0, 1)
+        mapping = Mapping(arch, {"P1": "pe1", "P2": "pe1"})
+        assert mapping.processes_on("pe1") == ("P1", "P2")
+        assert mapping.processes_on("pe2") == ()
+
+    def test_processes_on_index_follows_reassignment(self):
+        arch = simple_architecture(2, 0, 1)
+        mapping = Mapping(arch, {"P1": "pe1", "P2": "pe1"})
+        mapping.assign("P1", "pe2")
+        assert mapping.processes_on("pe1") == ("P2",)
+        assert mapping.processes_on("pe2") == ("P1",)
+        mapping.assign("P1", "pe2")  # re-assigning to the same PE is a no-op
+        assert mapping.processes_on("pe2") == ("P1",)
+
+    def test_reassigned_returns_independent_mapping(self):
+        arch = simple_architecture(2, 0, 1)
+        mapping = Mapping(arch, {"P1": "pe1", "P2": "pe1"})
+        moved = mapping.reassigned({"P2": "pe2"})
+        assert moved["P2"].name == "pe2"
+        assert mapping["P2"].name == "pe1"
+        assert mapping.processes_on("pe1") == ("P1", "P2")
+        assert moved.processes_on("pe1") == ("P1",)
+
+    def test_constructor_accepts_names(self):
+        arch = simple_architecture(1, 0, 1)
+        mapping = Mapping(arch, {"P1": "pe1"})
+        assert mapping["P1"] == arch["pe1"]

@@ -1,5 +1,7 @@
 """Tests for the repro-cpg command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -51,6 +53,58 @@ def test_sweep_command(capsys):
     assert main(["sweep", "--nodes", "16", "--paths", "2", "3", "--graphs", "1"]) == 0
     output = capsys.readouterr().out
     assert "16 nodes" in output
+
+
+def test_schedule_command_json(system_file, capsys):
+    assert main(["schedule", str(system_file), "--validate", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["system"] == "cli-demo"
+    assert document["alternative_paths"] == 2
+    assert document["delta_max"] >= document["delta_m"] > 0
+    assert len(document["path_delays"]) == 2
+    assert document["validation"]["paths_checked"] == 2
+
+
+def test_sweep_command_json(capsys):
+    assert main(["sweep", "--nodes", "16", "--paths", "2", "--graphs", "1",
+                 "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert "16 nodes" in document["series"]
+
+
+def test_explore_command(capsys):
+    assert main(["explore", "--nodes", "14", "--paths", "2", "--seed", "1",
+                 "--cycles", "3", "--neighbors", "3", "--trajectory"]) == 0
+    output = capsys.readouterr().out
+    assert "delta_max" in output
+    assert "cache hits" in output
+    assert "cycle" in output  # trajectory table header
+
+
+def test_explore_command_json_both_engines(capsys):
+    arguments = ["explore", "--nodes", "14", "--paths", "2", "--seed", "1",
+                 "--cycles", "3", "--neighbors", "3", "--engine", "both",
+                 "--json"]
+    assert main(arguments) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert {result["engine"] for result in document["results"]} == {
+        "tabu", "anneal"
+    }
+    assert document["best_engine"] in ("tabu", "anneal")
+    for result in document["results"]:
+        assert result["best"]["cost"] <= result["initial"]["cost"] + 1e-9
+        assert result["trajectory"]
+    # Determinism across invocations: identical JSON for identical arguments.
+    assert main(arguments) == 0
+    again = json.loads(capsys.readouterr().out)
+    assert again == document
+
+
+def test_explore_command_on_system_file(system_file, capsys):
+    assert main(["explore", str(system_file), "--cycles", "2",
+                 "--neighbors", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "system.json" in output
 
 
 def test_missing_command_errors():
