@@ -1,0 +1,109 @@
+"""Genetic engine — Pareto fronts and architecture sizing on seeded systems.
+
+Beyond the paper (which fixes the architecture and minimises the single
+worst-case delay), this benchmark exercises the NSGA-style genetic engine:
+a population search over the mapping/priority/platform space reporting the
+non-dominated front over ``(delta_max, mean path delay, load imbalance,
+architecture cost)``.  The committed trajectory lives in ``BENCH_core.json``
+under the ``genetic`` key, whose frozen front vectors double as a per-seed
+determinism anchor for ``scripts/run_benchmarks.py --check``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis import format_pareto_front, format_table
+from repro.exploration import (
+    ArchitectureBounds,
+    ExplorationConfig,
+    ExplorationProblem,
+    Explorer,
+    dominates,
+)
+from repro.generator import generate_system
+
+from conftest import write_result
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from run_benchmarks import GENETIC_WORKLOAD, _measure_genetic  # noqa: E402
+
+
+def _sized_problem() -> ExplorationProblem:
+    spec = GENETIC_WORKLOAD
+    system = generate_system(
+        spec["nodes"], spec["alternative_paths"], seed=spec["seed"]
+    )
+    return ExplorationProblem.from_system(system, bounds=ArchitectureBounds())
+
+
+def test_genetic_front(benchmark):
+    problem = _sized_problem()
+    config = ExplorationConfig(
+        seed=GENETIC_WORKLOAD["seed"],
+        max_cycles=GENETIC_WORKLOAD["generations"],
+        population_size=GENETIC_WORKLOAD["population"],
+        track_front=True,
+    )
+    result = Explorer(problem, config=config).explore("genetic")
+
+    write_result(
+        "genetic_front",
+        format_pareto_front(
+            f"Genetic engine: non-dominated front over "
+            f"{result.evaluations} evaluations "
+            f"({GENETIC_WORKLOAD['nodes']} nodes, architecture sizing on)",
+            result.front,
+        ),
+    )
+
+    # The front must be non-empty, mutually non-dominated, and no worse than
+    # the seed design point on the scalar cost.
+    vectors = result.front.vectors()
+    assert vectors
+    for i, a in enumerate(vectors):
+        for j, b in enumerate(vectors):
+            if i != j:
+                assert not dominates(a, b), (a, b)
+    assert result.best.cost <= result.initial.cost + 1e-9
+
+    # Determinism: a second explorer reproduces the exact front.
+    again = Explorer(problem, config=config).explore("genetic")
+    assert again.front.vectors() == vectors
+
+    # pytest-benchmark timing of one short genetic run (fresh cache each
+    # round so population evaluation cost is actually measured).
+    def genetic_once():
+        fresh = Explorer(
+            problem,
+            config=ExplorationConfig(
+                seed=0, max_cycles=2, population_size=6, track_front=True
+            ),
+        )
+        return fresh.explore("genetic")
+
+    benchmark(genetic_once)
+
+
+def test_genetic_workload_record():
+    record = _measure_genetic()
+    write_result(
+        "genetic_workload",
+        format_table(
+            "Genetic workload (the BENCH_core.json 'genetic' record)",
+            ["nodes", "generations", "population", "evaluations",
+             "front", "seconds"],
+            [[
+                record["nodes"],
+                record["generations"],
+                record["population"],
+                record["evaluations"],
+                record["front_size"],
+                record["engine_seconds"],
+            ]],
+        ),
+    )
+    assert record["front_size"] >= 2
+    assert record["evaluations"] > 0

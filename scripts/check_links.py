@@ -1,0 +1,135 @@
+"""Offline markdown link checker for the repository's documentation.
+
+Scans every top-level ``*.md`` file and everything under ``docs/`` for
+markdown links (``[text](target)``) and reference-style definitions
+(``[label]: target``) and verifies that every *relative* target resolves to
+an existing file or directory, relative to the file containing the link.
+External links (``http://``, ``https://``, ``mailto:``) are recorded but not
+fetched — the check runs offline, in CI and in tier-1 tests
+(``tests/test_docs.py``), so it must never depend on the network.
+
+Usage::
+
+    python scripts/check_links.py            # exit 1 listing broken links
+    python scripts/check_links.py --verbose  # also list every checked link
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, NamedTuple, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links: [text](target).  Images ![alt](target) match too (the
+#: leading ! simply precedes the match).  Targets containing spaces are
+#: allowed when angle-bracketed: [text](<a b.md>) — the first alternative
+#: captures the bracketed form, the second the plain form.
+_INLINE_LINK = re.compile(r"\[[^\]]*\]\((?:<([^>]+)>|([^)<>\s]+))\)")
+#: Reference definitions at line start: [label]: target
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: Fenced code blocks are stripped before scanning: their bracketed text
+#: (e.g. Python indexing) is code, not links.
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_INLINE_CODE = re.compile(r"`[^`\n]*`")
+
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Retrieved reference material, not curated documentation: these files quote
+#: external sources verbatim (including figure links into the original PDFs)
+#: and are not expected to resolve locally.
+_EXCLUDED = {"PAPERS.md", "SNIPPETS.md"}
+
+
+class Link(NamedTuple):
+    """One discovered link: the file it lives in and its raw target."""
+
+    source: Path
+    target: str
+
+
+def documentation_files(root: Path = ROOT) -> List[Path]:
+    """The markdown set the check covers: root-level *.md plus docs/**."""
+    files = sorted(root.glob("*.md"))
+    files.extend(sorted((root / "docs").rglob("*.md")))
+    return [
+        path for path in files if path.is_file() and path.name not in _EXCLUDED
+    ]
+
+
+def links_in(path: Path) -> List[Link]:
+    """Extract every link target from one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    text = _CODE_FENCE.sub("", text)
+    text = _INLINE_CODE.sub("", text)
+    targets = [
+        bracketed or plain for bracketed, plain in _INLINE_LINK.findall(text)
+    ]
+    targets.extend(_REFERENCE_DEF.findall(text))
+    return [Link(path, target) for target in targets]
+
+
+def classify(link: Link) -> Tuple[str, str]:
+    """Return (status, detail) for one link: ok / external / anchor / broken."""
+    target = link.target
+    if target.startswith(_EXTERNAL_SCHEMES):
+        return "external", target
+    path_part, _, _anchor = target.partition("#")
+    if not path_part:  # pure in-page anchor like #section
+        return "anchor", target
+    resolved = (link.source.parent / path_part).resolve()
+    if resolved.exists():
+        return "ok", str(resolved.relative_to(ROOT))
+    return "broken", path_part
+
+
+def broken_links(root: Path = ROOT) -> List[Link]:
+    """Every relative link in the documentation set that does not resolve."""
+    return [
+        link
+        for path in documentation_files(root)
+        for link in links_in(path)
+        if classify(link)[0] == "broken"
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--verbose", action="store_true", help="list every checked link"
+    )
+    args = parser.parse_args(argv)
+
+    files = documentation_files()
+    checked = 0
+    failures: List[Link] = []
+    for path in files:
+        for link in links_in(path):
+            status, detail = classify(link)
+            checked += 1
+            if status == "broken":
+                failures.append(link)
+            if args.verbose or status == "broken":
+                print(
+                    f"{status:>8}  {path.relative_to(ROOT)} -> {link.target}"
+                    + (f"  ({detail})" if status == "ok" else "")
+                )
+    print(
+        f"checked {checked} links in {len(files)} markdown files: "
+        f"{len(failures)} broken"
+    )
+    if failures:
+        for link in failures:
+            print(
+                f"BROKEN: {link.source.relative_to(ROOT)} -> {link.target}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

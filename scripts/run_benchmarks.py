@@ -59,6 +59,24 @@ EXPLORATION_WORKLOAD = {
     "passes": 3,
 }
 
+#: Genetic-engine benchmark workload: a seeded system explored with the
+#: NSGA-style engine, architecture sizing enabled.  Besides the timing, the
+#: record freezes the final Pareto-front objective vectors — the engine is
+#: deterministic per seed and pure Python, so ``--check`` can verify the
+#: front reproduces bit-exactly on any host (a non-flaky determinism gate on
+#: top of the host-calibrated timing gate).
+GENETIC_WORKLOAD = {
+    "nodes": 24,
+    "alternative_paths": 4,
+    "seed": 5,
+    "generations": 6,
+    "population": 10,
+}
+
+#: The genetic timing gate is more tolerant than the merge gate: one run
+#: covers population-dynamics overhead on top of ~70 merges, so it is noisier.
+GENETIC_TOLERANCE = 0.5
+
 
 def _calibrate(repeats: int = 3) -> float:
     """Wall-time of a fixed pure-Python workload, proxying host speed.
@@ -163,6 +181,50 @@ def _measure_exploration() -> dict:
     }
 
 
+def _measure_genetic() -> dict:
+    """Time one seeded genetic (NSGA-style) search and record its front.
+
+    Runs :data:`GENETIC_WORKLOAD` — architecture sizing enabled, front
+    tracked over every evaluation — and returns the wall-time next to the
+    final front's objective vectors.  The vectors are the determinism anchor:
+    ``--check`` re-runs the workload and fails when they differ from the
+    committed record, which would mean the engine's per-seed reproducibility
+    broke.
+    """
+    from repro.exploration import (
+        ArchitectureBounds,
+        ExplorationConfig,
+        ExplorationProblem,
+        Explorer,
+    )
+    from repro.generator import generate_system
+
+    spec = GENETIC_WORKLOAD
+    system = generate_system(spec["nodes"], spec["alternative_paths"], seed=spec["seed"])
+    problem = ExplorationProblem.from_system(system, bounds=ArchitectureBounds())
+    config = ExplorationConfig(
+        seed=spec["seed"],
+        max_cycles=spec["generations"],
+        population_size=spec["population"],
+        track_front=True,
+    )
+    explorer = Explorer(problem, config=config)
+    started = time.perf_counter()
+    result = explorer.explore("genetic")
+    genetic_seconds = time.perf_counter() - started
+
+    return {
+        **spec,
+        "engine_seconds": round(genetic_seconds, 4),
+        "evaluations": result.evaluations,
+        "cache_hits": result.cache.hits,
+        "best_delta_max": result.best.delta_max,
+        "front_size": len(result.front),
+        "front_vectors": [list(vector) for vector in result.front.vectors()],
+        "tolerance": GENETIC_TOLERANCE,
+    }
+
+
 def run(output: Path, presets, repeats: int) -> dict:
     workloads = {}
     for preset in presets:
@@ -182,6 +244,14 @@ def run(output: Path, presets, repeats: int) -> dict:
         f"{exploration['optimised_seconds']:.4f}s "
         f"({exploration['speedup']}x, {exploration['workers']} worker(s))"
     )
+    genetic = _measure_genetic()
+    print(
+        f"genetic : {genetic['generations']} generations x "
+        f"{genetic['population']} population in "
+        f"{genetic['engine_seconds']:.4f}s "
+        f"({genetic['evaluations']} evaluations, front of "
+        f"{genetic['front_size']})"
+    )
     payload = {
         "description": (
             "ScheduleMerger.merge wall-time on the LARGE_SCALE_PRESETS random "
@@ -189,14 +259,17 @@ def run(output: Path, presets, repeats: int) -> dict:
             "baseline. 'exploration' times the design-space explorer's "
             "evaluator layer (content-hash cache + parallel pool) against "
             "naive sequential re-evaluation on a revisit-heavy candidate "
-            "stream. Regenerate with scripts/run_benchmarks.py; check with "
-            "--check."
+            "stream. 'genetic' times one seeded NSGA-style search with "
+            "architecture sizing and freezes its Pareto front as a "
+            "determinism anchor. Regenerate with scripts/run_benchmarks.py; "
+            "check with --check."
         ),
         "reference": DEFAULT_REFERENCE,
         "tolerance": DEFAULT_TOLERANCE,
         "calibration_seconds": round(_calibrate(), 4),
         "workloads": workloads,
         "exploration": exploration,
+        "genetic": genetic,
     }
     output.write_text(json.dumps(payload, indent=1) + "\n")
     print(f"wrote {output}")
@@ -238,6 +311,43 @@ def check(
         return (
             f"merge time on {reference!r} regressed: {measured:.4f}s > "
             f"{committed:.4f}s * {1.0 + tolerance:.2f} * host scale {scale:.2f}"
+        )
+    return _check_genetic(baseline, scale)
+
+
+def _check_genetic(baseline: dict, scale: float) -> str | None:
+    """Gate the genetic benchmark: front determinism first, then timing.
+
+    The committed front vectors must reproduce bit-exactly (the engine is
+    seeded pure Python — any drift is a real reproducibility regression, not
+    noise), and the wall-time must stay within the genetic tolerance scaled
+    by the same host calibration as the merge gate.
+    """
+    committed = baseline.get("genetic")
+    if not committed:  # baseline predates the genetic benchmark
+        return None
+    measured = _measure_genetic()
+    if measured["front_vectors"] != committed["front_vectors"]:
+        print("genetic : front vectors diverged from baseline -> REGRESSION")
+        return (
+            "genetic front is no longer deterministic per seed: measured "
+            f"{measured['front_vectors']} vs committed "
+            f"{committed['front_vectors']}"
+        )
+    tolerance = committed.get("tolerance", GENETIC_TOLERANCE)
+    limit = committed["engine_seconds"] * (1.0 + tolerance) * scale
+    verdict = "ok" if measured["engine_seconds"] <= limit else "REGRESSION"
+    print(
+        f"genetic : measured {measured['engine_seconds']:.4f}s vs baseline "
+        f"{committed['engine_seconds']:.4f}s (limit {limit:.4f}s at "
+        f"+{tolerance:.0%}), front of {measured['front_size']} reproduced "
+        f"-> {verdict}"
+    )
+    if measured["engine_seconds"] > limit:
+        return (
+            f"genetic engine time regressed: {measured['engine_seconds']:.4f}s "
+            f"> {committed['engine_seconds']:.4f}s * {1.0 + tolerance:.2f} "
+            f"* host scale {scale:.2f}"
         )
     return None
 

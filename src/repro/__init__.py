@@ -30,6 +30,7 @@ from .architecture import (
 from .conditions import BoolExpr, Condition, Conjunction, Literal
 from .data import Fig1Example, load_fig1_example
 from .exploration import (
+    ArchitectureBounds,
     CachedEvaluator,
     Candidate,
     CandidateEvaluation,
@@ -39,6 +40,9 @@ from .exploration import (
     ExplorationProblem,
     ExplorationResult,
     Explorer,
+    GeneticEngine,
+    ParetoFront,
+    ParetoPoint,
 )
 from .graph import (
     AlternativePath,
@@ -77,6 +81,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AlternativePath",
     "Architecture",
+    "ArchitectureBounds",
     "ArchitectureError",
     "BoolExpr",
     "CPGBuilder",
@@ -95,6 +100,7 @@ __all__ = [
     "ExplorationResult",
     "Explorer",
     "Fig1Example",
+    "GeneticEngine",
     "GraphStructureError",
     "Literal",
     "Mapping",
@@ -102,6 +108,8 @@ __all__ = [
     "MergeResult",
     "MergeTrace",
     "PEKind",
+    "ParetoFront",
+    "ParetoPoint",
     "PathEnumerator",
     "PathListScheduler",
     "PathSchedule",

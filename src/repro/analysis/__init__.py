@@ -12,6 +12,7 @@ from .metrics import (
 from .reporting import (
     format_comparison,
     format_exploration_comparison,
+    format_pareto_front,
     format_series,
     format_table,
     format_trajectory,
@@ -31,6 +32,7 @@ __all__ = [
     "format_comparison",
     "format_condition_rows",
     "format_exploration_comparison",
+    "format_pareto_front",
     "format_schedule_table",
     "format_series",
     "format_table",

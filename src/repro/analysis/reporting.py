@@ -94,6 +94,42 @@ def format_trajectory(title: str, points: Sequence[object]) -> str:
     return format_table(title, ["cycle", "move", "cost", "best", "accepted"], rows)
 
 
+def format_pareto_front(title: str, front) -> str:
+    """Format a Pareto front as an aligned table, one row per trade-off point.
+
+    ``front`` duck-types :class:`repro.exploration.ParetoFront`: an iterable
+    of points with an ``objectives`` vector ``(delta_max, mean_path_delay,
+    load_imbalance, architecture_cost)`` and a ``candidate`` carrying the
+    priority function and (optionally) the sized platform.
+    """
+    rows = []
+    for point in front:
+        delta_max, mean_path_delay, load_imbalance, architecture_cost = (
+            point.objectives
+        )
+        candidate = point.candidate
+        if candidate.platform:
+            platform = (
+                f"{len(candidate.platform_processors)} PE + "
+                f"{len(candidate.platform_buses)} bus"
+            )
+        else:
+            platform = "-"
+        rows.append([
+            f"{delta_max:g}",
+            f"{mean_path_delay:.2f}",
+            f"{load_imbalance:.3f}",
+            f"{architecture_cost:g}",
+            candidate.priority_function,
+            platform,
+        ])
+    return format_table(
+        title,
+        ["delta_max", "mean delay", "imbalance", "arch cost", "priority", "platform"],
+        rows,
+    )
+
+
 def format_exploration_comparison(
     title: str, results: Sequence[object]
 ) -> str:

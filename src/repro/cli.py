@@ -20,11 +20,17 @@ Five subcommands cover the main uses of the library without writing Python:
 
 ``repro-cpg explore``
     Design-space exploration: search the mapping/priority space of a seeded
-    random system (or a system description file) with tabu search or
-    simulated annealing, using the schedule merger as the evaluator.
+    random system, a system description file or the paper's Fig. 1 example
+    (``--fig1``) with tabu search, simulated annealing or the NSGA-style
+    genetic engine, using the schedule merger as the evaluator.
+    ``--size-architecture`` adds add/remove-processor and add/remove-bus
+    moves within declared bounds; ``--pareto`` reports the non-dominated
+    front over (delta_max, mean path delay, load imbalance, architecture
+    cost) instead of only the best scalar design point.
 
 The console script ``repro-cpg`` is installed with the package; the module can
-also be run with ``python -m repro.cli``.
+also be run with ``python -m repro.cli``.  See ``docs/cli.md`` for the full
+flag reference.
 """
 
 from __future__ import annotations
@@ -35,13 +41,21 @@ import math
 import sys
 from typing import List, Optional, Sequence
 
-from .analysis import aggregate, format_schedule_table, format_series, format_trajectory
+from .analysis import (
+    aggregate,
+    format_pareto_front,
+    format_schedule_table,
+    format_series,
+    format_trajectory,
+)
 from .data import load_fig1_example
 from .exploration import (
+    ArchitectureBounds,
     ExplorationConfig,
     ExplorationProblem,
     EvaluationPool,
     Explorer,
+    OBJECTIVE_NAMES,
 )
 from .generator import RandomSystemGenerator, generate_system, paper_experiment_configs
 from .graph import PathEnumerator
@@ -105,14 +119,56 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument("--seed", type=int, default=0, help="search + system seed")
     explore.add_argument(
-        "--engine",
-        choices=["tabu", "anneal", "both"],
-        default="tabu",
-        help="search engine ('both' runs tabu then annealing on a shared cache)",
+        "--fig1",
+        action="store_true",
+        help="explore the paper's Fig. 1 example instead of a random system",
     )
-    explore.add_argument("--cycles", type=int, default=40, help="cycle budget")
+    explore.add_argument(
+        "--engine",
+        choices=["tabu", "anneal", "genetic", "both", "all"],
+        default="tabu",
+        help="search engine ('both' runs tabu then annealing, 'all' adds the "
+        "genetic engine; engines share one evaluation cache)",
+    )
+    explore.add_argument(
+        "--cycles", type=int, default=40,
+        help="cycle budget (generations for the genetic engine)",
+    )
     explore.add_argument(
         "--neighbors", type=int, default=8, help="neighbours scored per cycle"
+    )
+    explore.add_argument(
+        "--population", type=int, default=16,
+        help="genetic-engine population size",
+    )
+    explore.add_argument(
+        "--pareto",
+        action="store_true",
+        help="track and report the non-dominated front over "
+        "(delta_max, mean path delay, load imbalance, architecture cost)",
+    )
+    explore.add_argument(
+        "--size-architecture",
+        action="store_true",
+        help="enable architecture sizing: the search may add/remove "
+        "programmable processors and buses within the declared bounds",
+    )
+    explore.add_argument(
+        "--min-processors", type=int, default=1,
+        help="sizing: lower bound on programmable processors",
+    )
+    explore.add_argument(
+        "--max-processors", type=int, default=None,
+        help="sizing: upper bound on programmable processors "
+        "(default: seed count + 2)",
+    )
+    explore.add_argument(
+        "--min-buses", type=int, default=1,
+        help="sizing: lower bound on buses",
+    )
+    explore.add_argument(
+        "--max-buses", type=int, default=None,
+        help="sizing: upper bound on buses (default: seed count + 1)",
     )
     explore.add_argument(
         "--stall",
@@ -270,8 +326,26 @@ def _finite(value: float):
     return value if math.isfinite(value) else None
 
 
-def _explore_result_dict(result) -> dict:
-    return {
+def _front_dict(front) -> dict:
+    """Serialise a ParetoFront: sorted, deterministic per seed."""
+    points = []
+    for point in front:
+        entry = {
+            "fingerprint": point.candidate.fingerprint,
+            "objectives": dict(zip(OBJECTIVE_NAMES, point.objectives)),
+            "priority_function": point.candidate.priority_function,
+        }
+        if point.candidate.platform:
+            entry["platform"] = {
+                "processors": list(point.candidate.platform_processors),
+                "buses": list(point.candidate.platform_buses),
+            }
+        points.append(entry)
+    return {"size": len(points), "points": points}
+
+
+def _explore_result_dict(result, include_front: bool = False) -> dict:
+    document = {
         "engine": result.engine,
         "initial": {
             "feasible": result.initial.feasible,
@@ -287,6 +361,7 @@ def _explore_result_dict(result) -> dict:
             "cost": _finite(result.best.cost),
             "mean_path_delay": result.best.mean_path_delay,
             "load_imbalance": result.best.load_imbalance,
+            "architecture_cost": result.best.architecture_cost,
             "priority_function": result.best_candidate.priority_function,
             "assignment": dict(result.best_candidate.assignment),
         },
@@ -310,19 +385,53 @@ def _explore_result_dict(result) -> dict:
             for point in result.trajectory
         ],
     }
+    if include_front and result.front is not None:
+        document["front"] = _front_dict(result.front)
+    return document
+
+
+_ENGINE_CHOICES = {
+    "both": ["tabu", "anneal"],
+    "all": ["tabu", "anneal", "genetic"],
+}
 
 
 def _command_explore(arguments) -> int:
-    if arguments.system is not None:
+    if arguments.fig1 and arguments.system is not None:
+        print(
+            "error: --fig1 and a system description file are mutually "
+            "exclusive; pass one problem source",
+            file=sys.stderr,
+        )
+        return 2
+    bounds = None
+    if arguments.size_architecture:
+        bounds = ArchitectureBounds(
+            max_processors=arguments.max_processors,
+            min_processors=arguments.min_processors,
+            max_buses=arguments.max_buses,
+            min_buses=arguments.min_buses,
+        )
+    if arguments.fig1:
+        example = load_fig1_example()
+        problem = ExplorationProblem(
+            example.process_graph,
+            example.mapping,
+            example.architecture,
+            name="fig1",
+            bounds=bounds,
+        )
+        origin = "the paper's Fig. 1 example"
+    elif arguments.system is not None:
         system = load_system(arguments.system)
         system.graph.validate()
-        problem = ExplorationProblem.from_system(system)
+        problem = ExplorationProblem.from_system(system, bounds=bounds)
         origin = arguments.system
     else:
         generated = generate_system(
             arguments.nodes, arguments.paths, seed=arguments.seed
         )
-        problem = ExplorationProblem.from_system(generated)
+        problem = ExplorationProblem.from_system(generated, bounds=bounds)
         origin = (
             f"random system ({arguments.nodes} nodes, {arguments.paths} paths, "
             f"seed {arguments.seed})"
@@ -332,13 +441,15 @@ def _command_explore(arguments) -> int:
         max_cycles=arguments.cycles,
         neighbors_per_cycle=arguments.neighbors,
         stall_cycles=arguments.stall,
+        population_size=arguments.population,
+        track_front=arguments.pareto,
     )
     pool = None
     if arguments.workers > 1:
         pool = EvaluationPool(problem, config.weights, workers=arguments.workers)
     try:
         explorer = Explorer(problem, config=config, pool=pool)
-        engines = ["tabu", "anneal"] if arguments.engine == "both" else [arguments.engine]
+        engines = _ENGINE_CHOICES.get(arguments.engine, [arguments.engine])
         results = [explorer.explore(engine) for engine in engines]
     finally:
         if pool is not None:
@@ -350,7 +461,10 @@ def _command_explore(arguments) -> int:
             {
                 "problem": origin,
                 "seed": arguments.seed,
-                "results": [_explore_result_dict(result) for result in results],
+                "results": [
+                    _explore_result_dict(result, include_front=arguments.pareto)
+                    for result in results
+                ],
                 "best_engine": best.engine,
             },
             indent=2,
@@ -385,6 +499,12 @@ def _command_explore(arguments) -> int:
         if arguments.trajectory and result.trajectory:
             print(format_trajectory(
                 f"  trajectory ({result.engine})", result.trajectory
+            ))
+        if arguments.pareto and result.front is not None:
+            print(format_pareto_front(
+                f"  Pareto front ({result.engine}): {len(result.front)} "
+                "non-dominated trade-off points",
+                result.front,
             ))
     return 0
 

@@ -2,19 +2,23 @@
 
 The source paper assumes the process-to-processor mapping arrives from an
 upstream partitioning step (Eles et al., 1997 — simulated annealing and tabu
-search); this subsystem closes that loop.  It searches the mapping/priority
-design space using the repository's schedule merger as the evaluator:
+search); this subsystem closes that loop.  It searches the mapping/priority —
+and, with :class:`ArchitectureBounds`, the *platform* — design space using the
+repository's schedule merger as the evaluator:
 
 * :class:`Candidate` / :class:`CostWeights` — design points and their scoring
-  (worst-case delay, mean path delay, processor load balance), behind a
-  content-hash evaluation cache (:class:`CachedEvaluator`) so revisited
-  mappings never re-run the merger;
+  (worst-case delay, mean path delay, processor load balance, architecture
+  cost), behind a content-hash evaluation cache (:class:`CachedEvaluator`) so
+  revisited mappings never re-run the merger;
 * :class:`NeighborhoodSampler` — remap / swap / priority-switch / priority-
-  bias moves;
-* :class:`TabuSearchEngine` and :class:`SimulatedAnnealingEngine` — seeded,
-  cycle-bounded engines behind the :class:`Explorer` facade with pluggable
-  stopping criteria;
-* :class:`EvaluationPool` — batched neighbour scoring on
+  bias moves, plus add/remove-processor and add/remove-bus sizing moves when
+  the problem declares bounds;
+* :class:`TabuSearchEngine`, :class:`SimulatedAnnealingEngine` and the
+  NSGA-style :class:`GeneticEngine` — seeded, cycle-bounded engines behind
+  the :class:`Explorer` facade with pluggable stopping criteria;
+* :class:`ParetoFront` — non-dominated fronts over the vector cost
+  ``(delta_max, mean_path_delay, load_imbalance, architecture_cost)``;
+* :class:`EvaluationPool` — batched neighbour/generation scoring on
   ``concurrent.futures`` worker processes.
 
 Quick start::
@@ -25,12 +29,24 @@ Quick start::
     problem = ExplorationProblem.from_system(generate_system(40, 8, seed=1))
     result = Explorer(problem).explore("tabu")
     print(result.initial.delta_max, "->", result.best.delta_max)
+
+Multi-objective, with architecture sizing::
+
+    from repro.exploration import ArchitectureBounds
+
+    problem = ExplorationProblem.from_system(
+        generate_system(40, 8, seed=1), bounds=ArchitectureBounds()
+    )
+    result = Explorer(problem).explore("genetic")
+    for point in result.front:
+        print(point.objectives)
 """
 
 from .candidate import Candidate
 from .cost import (
     CandidateEvaluation,
     CostWeights,
+    architecture_cost_of,
     evaluate_candidate,
     load_imbalance_of,
 )
@@ -39,6 +55,7 @@ from .engines import (
     ExplorationConfig,
     ExplorationResult,
     Explorer,
+    GeneticEngine,
     MaxCycles,
     SearchState,
     SimulatedAnnealingEngine,
@@ -50,10 +67,19 @@ from .engines import (
 )
 from .evaluator import CachedEvaluator, CacheStats
 from .moves import Move, NeighborhoodSampler
+from .pareto import (
+    OBJECTIVE_NAMES,
+    ParetoFront,
+    ParetoPoint,
+    crowding_distances,
+    dominates,
+    non_dominated_sort,
+)
 from .pool import EvaluationPool, default_worker_count
-from .problem import ExplorationProblem
+from .problem import ArchitectureBounds, ExplorationProblem
 
 __all__ = [
+    "ArchitectureBounds",
     "CacheStats",
     "CachedEvaluator",
     "Candidate",
@@ -65,9 +91,13 @@ __all__ = [
     "ExplorationProblem",
     "ExplorationResult",
     "Explorer",
+    "GeneticEngine",
     "MaxCycles",
     "Move",
     "NeighborhoodSampler",
+    "OBJECTIVE_NAMES",
+    "ParetoFront",
+    "ParetoPoint",
     "SearchState",
     "SimulatedAnnealingEngine",
     "Stalled",
@@ -75,7 +105,11 @@ __all__ = [
     "TabuSearchEngine",
     "TargetCost",
     "TrajectoryPoint",
+    "architecture_cost_of",
+    "crowding_distances",
     "default_worker_count",
+    "dominates",
     "evaluate_candidate",
     "load_imbalance_of",
+    "non_dominated_sort",
 ]

@@ -1,13 +1,15 @@
-"""Design points of the mapping/priority search space.
+"""Design points of the mapping/priority/platform search space.
 
 A :class:`Candidate` is one point the explorer can evaluate: an assignment of
-every ordinary process to a processor plus the priority configuration the
+every ordinary process to a processor, the priority configuration the
 per-path list scheduler should use (one of the registered priority functions,
-optionally perturbed per process).  Candidates are immutable value objects —
-neighbourhood moves derive new candidates instead of mutating — and carry a
-stable content hash (:attr:`Candidate.fingerprint`) that keys the evaluation
-cache: two candidates describing the same design point always collide, so a
-revisited mapping never re-runs the schedule merger.
+optionally perturbed per process) and — when architecture sizing is enabled —
+the *platform*: which programmable processors and buses are instantiated.
+Candidates are immutable value objects — neighbourhood moves derive new
+candidates instead of mutating — and carry a stable content hash
+(:attr:`Candidate.fingerprint`) that keys the evaluation cache: two candidates
+describing the same design point always collide, so a revisited
+mapping/platform never re-runs the schedule merger.
 """
 
 from __future__ import annotations
@@ -38,11 +40,18 @@ class Candidate:
     priority_bias:
         Sorted ``(process name, additive bias)`` pairs perturbing the computed
         priorities; processes not listed keep their computed priority.
+    platform:
+        Sorted ``(element name, kind)`` pairs naming the *sizable* processing
+        elements this design point instantiates — programmable processors and
+        buses; hardware processors are never sizable and stay implicit.  The
+        empty tuple (the default) means architecture sizing is disabled and
+        the problem's base architecture is used unchanged.
     """
 
     assignment: Tuple[Tuple[str, str], ...]
     priority_function: str = DEFAULT_PRIORITY_FUNCTION
     priority_bias: Tuple[Tuple[str, float], ...] = field(default=())
+    platform: Tuple[Tuple[str, str], ...] = field(default=())
 
     # -- constructors --------------------------------------------------------
 
@@ -52,17 +61,23 @@ class Candidate:
         mapping: PEMapping,
         processes: Optional[Iterable[str]] = None,
         priority_function: str = DEFAULT_PRIORITY_FUNCTION,
+        platform: Tuple[Tuple[str, str], ...] = (),
     ) -> "Candidate":
         """Build a candidate from an existing mapping.
 
         ``processes`` restricts the candidate to the given process names
         (typically the ordinary processes, excluding communications whose bus
         assignment is derived during expansion); by default every mapped
-        process is included.
+        process is included.  ``platform`` seeds the sizable-element set when
+        architecture sizing is enabled.
         """
         names = tuple(processes) if processes is not None else tuple(mapping)
         pairs = tuple(sorted((name, mapping[name].name) for name in names))
-        return cls(assignment=pairs, priority_function=priority_function)
+        return cls(
+            assignment=pairs,
+            priority_function=priority_function,
+            platform=tuple(sorted(platform)),
+        )
 
     # -- views ---------------------------------------------------------------
 
@@ -77,6 +92,16 @@ class Candidate:
         return dict(self.priority_bias)
 
     @cached_property
+    def platform_processors(self) -> Tuple[str, ...]:
+        """Names of the programmable processors this platform instantiates."""
+        return tuple(name for name, kind in self.platform if kind != "bus")
+
+    @cached_property
+    def platform_buses(self) -> Tuple[str, ...]:
+        """Names of the buses this platform instantiates."""
+        return tuple(name for name, kind in self.platform if kind == "bus")
+
+    @cached_property
     def fingerprint(self) -> str:
         """Stable content hash of this design point (evaluation-cache key)."""
         digest = hashlib.sha256()
@@ -85,6 +110,8 @@ class Candidate:
             digest.update(f"|{name}={pe_name}".encode())
         for name, bias in self.priority_bias:
             digest.update(f"|{name}+{bias!r}".encode())
+        for name, kind in self.platform:
+            digest.update(f"|@{name}:{kind}".encode())
         return digest.hexdigest()[:20]
 
     def pe_of(self, process_name: str) -> str:
@@ -120,6 +147,21 @@ class Candidate:
             bias[process_name] = updated
         return replace(self, priority_bias=tuple(sorted(bias.items())))
 
+    def with_element(self, name: str, kind: str) -> "Candidate":
+        """Return a copy with one sizable element (processor or bus) added."""
+        if any(existing == name for existing, _ in self.platform):
+            raise ValueError(f"element {name!r} is already part of the platform")
+        return replace(self, platform=tuple(sorted(self.platform + ((name, kind),))))
+
+    def without_element(self, name: str) -> "Candidate":
+        """Return a copy with one sizable element removed from the platform."""
+        if not any(existing == name for existing, _ in self.platform):
+            raise ValueError(f"element {name!r} is not part of the platform")
+        return replace(
+            self,
+            platform=tuple(pair for pair in self.platform if pair[0] != name),
+        )
+
     def to_mapping(self, architecture) -> PEMapping:
         """Materialise the assignment as a :class:`repro.Mapping`."""
         mapping = PEMapping(architecture)
@@ -139,6 +181,12 @@ class Candidate:
         if self.priority_bias != other.priority_bias:
             changed_bias = set(self.priority_bias) ^ set(other.priority_bias)
             changes.append(f"bias({len(changed_bias)} terms)")
+        if self.platform != other.platform:
+            mine, theirs = set(self.platform), set(other.platform)
+            for name, _ in sorted(mine - theirs):
+                changes.append(f"+{name}")
+            for name, _ in sorted(theirs - mine):
+                changes.append(f"-{name}")
         return ", ".join(changes) if changes else "unchanged"
 
     def __str__(self) -> str:

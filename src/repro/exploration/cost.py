@@ -2,8 +2,9 @@
 
 Scoring a candidate runs the full pipeline the repository already trusts —
 communication expansion, per-path list scheduling with the candidate's
-priority configuration, schedule merging — and condenses the result into a
-scalar cost plus its components:
+priority configuration, schedule merging — on the candidate's (possibly
+sized) architecture, and condenses the result into a scalar cost plus the
+objective vector the multi-objective machinery consumes:
 
 * ``delta_max`` — the worst-case delay of the generated schedule table, the
   paper's primary quality metric;
@@ -11,7 +12,11 @@ scalar cost plus its components:
   alternative paths (weights candidates that keep *every* scenario fast, not
   only the worst one);
 * ``load_imbalance`` — how far the most loaded processor sits above the mean
-  processor load (a dimensionless ratio; 0 is perfectly balanced).
+  processor load (a dimensionless ratio; 0 is perfectly balanced);
+* ``architecture_cost`` — what the candidate's platform costs in abstract
+  units: ``processor_cost`` per programmable processor plus ``bus_cost`` per
+  bus (hardware processors are fixed and excluded).  Constant unless
+  architecture sizing is enabled.
 
 Evaluations are plain frozen dataclasses of floats and strings so they travel
 unchanged through the parallel evaluation pool and the content-hash cache.
@@ -20,8 +25,9 @@ unchanged through the parallel evaluation pool and the content-hash cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
+from ..architecture.architecture import ArchitectureError
 from ..architecture.mapping import MappingError
 from ..graph.communication import expand_communications
 from ..scheduling.list_scheduler import PathListScheduler, SchedulingError
@@ -35,16 +41,23 @@ _INFEASIBLE_COST = float("inf")
 
 @dataclass(frozen=True)
 class CostWeights:
-    """Relative weights of the cost components (see module docstring).
+    """Relative weights of the scalar-cost components (see module docstring).
 
     The default optimises ``delta_max`` alone, matching the paper's metric;
     ``load_imbalance`` is a ratio, so its weight is interpreted in the same
     time unit as the delays (weight 10 adds 10 time units per 100% imbalance).
+    ``architecture_cost`` weights the platform cost into the scalar;
+    ``processor_cost`` and ``bus_cost`` are the per-element units that make up
+    that platform cost (they also feed the fourth objective-vector component,
+    whatever the scalar weight is).
     """
 
     delta_max: float = 1.0
     mean_path_delay: float = 0.0
     load_imbalance: float = 0.0
+    architecture_cost: float = 0.0
+    processor_cost: float = 1.0
+    bus_cost: float = 0.5
 
 
 @dataclass(frozen=True)
@@ -58,14 +71,26 @@ class CandidateEvaluation:
     delta_m: float = 0.0
     mean_path_delay: float = 0.0
     load_imbalance: float = 0.0
+    architecture_cost: float = 0.0
     paths: int = 0
     error: str = ""
 
     @property
     def delay_increase_percent(self) -> float:
+        """How far the table's worst case exceeds the ideal delay, in percent."""
         if self.delta_m <= 0:
             return 0.0
         return 100.0 * (self.delta_max - self.delta_m) / self.delta_m
+
+    @property
+    def objectives(self) -> Tuple[float, float, float, float]:
+        """The minimised objective vector (see ``pareto.OBJECTIVE_NAMES``)."""
+        return (
+            self.delta_max,
+            self.mean_path_delay,
+            self.load_imbalance,
+            self.architecture_cost,
+        )
 
 
 def load_imbalance_of(problem: ExplorationProblem, candidate: Candidate) -> float:
@@ -73,17 +98,39 @@ def load_imbalance_of(problem: ExplorationProblem, candidate: Candidate) -> floa
 
     Loads sum the execution time of every ordinary process on its assigned
     processor (communications are excluded: their bus placement is derived
-    during expansion, not explored).
+    during expansion, not explored).  With architecture sizing, the mean runs
+    over the candidate's *active* processors, so emptier, smaller platforms
+    are not penalised for processors they no longer instantiate.
     """
-    loads: Dict[str, float] = {name: 0.0 for name in problem.processor_names}
+    loads: Dict[str, float] = {
+        name: 0.0 for name in problem.processors_for(candidate)
+    }
     graph = problem.graph
-    architecture = problem.architecture
+    architecture = problem.architecture_for(candidate)
     for name, pe_name in candidate.assignment:
         loads[pe_name] += graph[name].duration_on(architecture[pe_name])
     mean = sum(loads.values()) / len(loads) if loads else 0.0
     if mean <= 0:
         return 0.0
     return max(loads.values()) / mean - 1.0
+
+
+def architecture_cost_of(
+    problem: ExplorationProblem,
+    candidate: Candidate,
+    weights: CostWeights = CostWeights(),
+) -> float:
+    """Platform cost of a candidate in abstract units.
+
+    ``processor_cost`` per programmable processor plus ``bus_cost`` per bus of
+    the candidate's (possibly sized) architecture.  Hardware processors are
+    not sizable and carry no cost here.
+    """
+    architecture = problem.architecture_for(candidate)
+    return (
+        weights.processor_cost * len(architecture.programmable_processors)
+        + weights.bus_cost * len(architecture.buses)
+    )
 
 
 def evaluate_candidate(
@@ -94,24 +141,25 @@ def evaluate_candidate(
     """Score one candidate by running the merge pipeline end to end.
 
     Infeasible candidates (unconnectable communications, unschedulable paths,
-    unresolvable merge conflicts) get infinite cost instead of raising, so a
-    search can step over them.
+    unresolvable merge conflicts, malformed sized platforms) get infinite
+    cost instead of raising, so a search can step over them.
     """
     dispatch_priorities = priority_function(candidate.priority_function)
     try:
+        architecture = problem.architecture_for(candidate)
         mapping = problem.mapping_for(candidate)
-        expanded = expand_communications(problem.graph, mapping, problem.architecture)
+        expanded = expand_communications(problem.graph, mapping, architecture)
         scheduler = PathListScheduler(
             expanded.graph,
             expanded.mapping,
-            problem.architecture,
+            architecture,
             priority_function=dispatch_priorities,
             priority_bias=candidate.bias_dict,
         )
         result = ScheduleMerger(
-            expanded.graph, expanded.mapping, problem.architecture, scheduler
+            expanded.graph, expanded.mapping, architecture, scheduler
         ).merge()
-    except (MappingError, SchedulingError, MergeConflictError) as error:
+    except (ArchitectureError, MappingError, SchedulingError, MergeConflictError) as error:
         return CandidateEvaluation(
             fingerprint=candidate.fingerprint,
             cost=_INFEASIBLE_COST,
@@ -125,10 +173,12 @@ def evaluate_candidate(
     ]
     mean_path_delay = sum(path_delays) / len(path_delays)
     imbalance = load_imbalance_of(problem, candidate)
+    platform_cost = architecture_cost_of(problem, candidate, weights)
     cost = (
         weights.delta_max * result.delta_max
         + weights.mean_path_delay * mean_path_delay
         + weights.load_imbalance * imbalance
+        + weights.architecture_cost * platform_cost
     )
     return CandidateEvaluation(
         fingerprint=candidate.fingerprint,
@@ -138,5 +188,6 @@ def evaluate_candidate(
         delta_m=result.delta_m,
         mean_path_delay=mean_path_delay,
         load_imbalance=imbalance,
+        architecture_cost=platform_cost,
         paths=len(result.paths),
     )

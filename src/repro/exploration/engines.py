@@ -1,6 +1,9 @@
 """Search engines: cycle-bounded tabu search and simulated annealing.
 
-Both engines sit behind the same :class:`Explorer` facade and share every
+(The NSGA-style genetic engine lives in :mod:`repro.exploration.genetic` and
+registers itself into the :data:`ENGINES` table at the bottom of this module.)
+
+All engines sit behind the same :class:`Explorer` facade and share every
 layer below them — the :class:`~repro.exploration.NeighborhoodSampler`, the
 :class:`~repro.exploration.CachedEvaluator` (one per explorer, so consecutive
 ``explore`` calls share cache hits) and the optional parallel
@@ -41,13 +44,14 @@ from .candidate import Candidate
 from .cost import CandidateEvaluation, CostWeights
 from .evaluator import CachedEvaluator, CacheStats
 from .moves import DEFAULT_PRIORITY_CHOICES, NeighborhoodSampler
+from .pareto import ParetoFront
 from .pool import EvaluationPool
 from .problem import ExplorationProblem
 
 
 @dataclass(frozen=True)
 class ExplorationConfig:
-    """Shared knobs of both engines (engine-specific ones are prefixed)."""
+    """Shared knobs of all engines (engine-specific ones are prefixed)."""
 
     seed: int = 0
     max_cycles: int = 40
@@ -56,11 +60,19 @@ class ExplorationConfig:
     target_cost: Optional[float] = None
     priority_choices: Tuple[str, ...] = DEFAULT_PRIORITY_CHOICES
     weights: CostWeights = field(default_factory=CostWeights)
+    #: Track a Pareto front over every fresh evaluation of the explorer (the
+    #: genetic engine tracks one regardless; this turns it on for tabu/SA).
+    track_front: bool = False
     # tabu search
     tabu_tenure: int = 12
     # simulated annealing
     initial_temperature: Optional[float] = None  # None: 5% of the initial cost
     cooling: float = 0.97
+    # genetic engine (one cycle = one generation)
+    population_size: int = 16
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_moves: int = 2
 
 
 @dataclass(frozen=True)
@@ -138,6 +150,13 @@ class ExplorationResult:
     evaluations: int
     stop_reason: str
     cache: CacheStats
+    #: A snapshot of the non-dominated front at the end of the run.  Always
+    #: set by the genetic engine; set by tabu/SA only when the explorer
+    #: tracks a front (``ExplorationConfig.track_front``), otherwise None.
+    #: When several engines share one explorer (and thus one evaluation
+    #: cache + live front), the snapshot also covers the design points the
+    #: *earlier* runs evaluated — but never the later ones.
+    front: Optional[ParetoFront] = None
 
     @property
     def improved(self) -> bool:
@@ -260,6 +279,11 @@ class TabuSearchEngine(_EngineBase):
             evaluations=state.evaluations,
             stop_reason=reason or "stopped",
             cache=self._evaluator.stats,
+            front=(
+                self._evaluator.front.snapshot()
+                if self._evaluator.front is not None
+                else None
+            ),
         )
 
 
@@ -345,6 +369,11 @@ class SimulatedAnnealingEngine(_EngineBase):
             evaluations=state.evaluations,
             stop_reason=reason or "stopped",
             cache=self._evaluator.stats,
+            front=(
+                self._evaluator.front.snapshot()
+                if self._evaluator.front is not None
+                else None
+            ),
         )
 
 
@@ -378,7 +407,10 @@ class Explorer:
         self._problem = problem
         self._config = config or ExplorationConfig()
         self._evaluator = evaluator or CachedEvaluator(
-            problem, self._config.weights, pool=pool
+            problem,
+            self._config.weights,
+            pool=pool,
+            front=ParetoFront() if self._config.track_front else None,
         )
         self._sampler = NeighborhoodSampler(
             problem, priority_choices=self._config.priority_choices
@@ -392,6 +424,11 @@ class Explorer:
     @property
     def config(self) -> ExplorationConfig:
         return self._config
+
+    @property
+    def front(self) -> Optional[ParetoFront]:
+        """The tracked Pareto front, or None when tracking is off."""
+        return self._evaluator.front
 
     def _stopping_criteria(self) -> List[StoppingCriterion]:
         criteria: List[StoppingCriterion] = [MaxCycles(self._config.max_cycles)]
@@ -418,3 +455,10 @@ class Explorer:
             self._config, self._evaluator, self._sampler, self._stopping_criteria()
         )
         return runner.run(initial)
+
+
+# Registered last: genetic.py imports the engine plumbing defined above, so
+# the import has to happen after every name it needs exists.
+from .genetic import GeneticEngine  # noqa: E402
+
+ENGINES[GeneticEngine.name] = GeneticEngine

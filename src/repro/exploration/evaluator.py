@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .candidate import Candidate
 from .cost import CandidateEvaluation, CostWeights, evaluate_candidate
+from .pareto import ParetoFront
 from .pool import EvaluationPool
 from .problem import ExplorationProblem
 
@@ -55,6 +56,11 @@ class CachedEvaluator:
     cache:
         Set to False to disable caching (used by benchmarks to measure the
         naive re-evaluation baseline; every request then runs the merger).
+    front:
+        Optional :class:`~repro.exploration.ParetoFront`.  When given, every
+        *fresh* feasible evaluation is offered to the front, so the front ends
+        up covering every distinct design point the evaluator ever scored
+        (cache hits were already offered when they were first computed).
     """
 
     def __init__(
@@ -63,6 +69,7 @@ class CachedEvaluator:
         weights: CostWeights = CostWeights(),
         pool: Optional[EvaluationPool] = None,
         cache: bool = True,
+        front: Optional[ParetoFront] = None,
     ) -> None:
         if pool is not None and pool.weights != weights:
             raise ValueError(
@@ -73,6 +80,7 @@ class CachedEvaluator:
         self._weights = weights
         self._pool = pool
         self._enabled = cache
+        self._front = front
         self._cache: Dict[str, CandidateEvaluation] = {}
         self._hits = 0
         self._misses = 0
@@ -84,6 +92,11 @@ class CachedEvaluator:
     @property
     def weights(self) -> CostWeights:
         return self._weights
+
+    @property
+    def front(self) -> Optional[ParetoFront]:
+        """The Pareto front fresh evaluations feed, or None when not tracking."""
+        return self._front
 
     @property
     def stats(self) -> CacheStats:
@@ -105,7 +118,10 @@ class CachedEvaluator:
         """
         if not self._enabled:
             self._misses += len(candidates)
-            return self._evaluate_fresh(list(candidates))
+            evaluations = self._evaluate_fresh(list(candidates))
+            if self._front is not None:
+                self._front.offer_many(candidates, evaluations)
+            return evaluations
 
         fresh: List[Candidate] = []
         fresh_keys: Dict[str, int] = {}
@@ -120,8 +136,11 @@ class CachedEvaluator:
                 fresh.append(candidate)
                 self._misses += 1
         if fresh:
-            for candidate, evaluation in zip(fresh, self._evaluate_fresh(fresh)):
+            evaluations = self._evaluate_fresh(fresh)
+            for candidate, evaluation in zip(fresh, evaluations):
                 self._cache[candidate.fingerprint] = evaluation
+            if self._front is not None:
+                self._front.offer_many(fresh, evaluations)
         return [self._cache[candidate.fingerprint] for candidate in candidates]
 
     def _evaluate_fresh(

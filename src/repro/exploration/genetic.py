@@ -1,0 +1,304 @@
+"""NSGA-style genetic engine over the mapping/priority/platform design space.
+
+Where tabu search and simulated annealing walk one design point, the genetic
+engine evolves a *population* and reports a whole Pareto front: the
+non-dominated trade-offs between the paper's worst-case delay, the mean
+path delay, processor load balance and — with architecture sizing enabled —
+the platform cost (see :mod:`repro.exploration.pareto`).
+
+The engine plugs into the exact same machinery as the single-point engines:
+
+* it draws all randomness from one ``random.Random(seed)``, so a seed fully
+  determines the final population, the reported front and the trajectory;
+* every evaluation goes through the shared :class:`CachedEvaluator` — whole
+  generations are scored as one batch, which the optional
+  :class:`~repro.exploration.EvaluationPool` parallelises across workers;
+* stopping is the same pluggable criterion list (one *cycle* is one
+  generation).
+
+Generation sketch (NSGA-II selection, the repository's moves as mutation):
+
+1. score the current population (batch evaluation, cache-deduplicated);
+2. rank it by non-dominated front and crowding distance;
+3. breed ``population_size`` children: binary tournaments pick parents,
+   uniform mapping crossover mixes their assignments (the platform and its
+   validity come from one *donor* parent), and one to ``mutation_moves``
+   neighbourhood moves mutate the child;
+4. score the children, pool parents + children, and keep the best
+   ``population_size`` by (front rank, crowding distance) — elitism falls out
+   of pooling, diversity out of the crowding tie-break.
+
+Infeasible candidates rank behind every feasible front, so an infeasible seed
+population repairs itself the same way the single-point engines do.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .candidate import Candidate
+from .cost import CandidateEvaluation
+from .engines import (
+    ExplorationResult,
+    SearchState,
+    TrajectoryPoint,
+    _EngineBase,
+)
+from .pareto import ParetoFront, crowding_distances, non_dominated_sort
+
+
+class GeneticEngine(_EngineBase):
+    """Population search with NSGA-II selection and Pareto-front reporting."""
+
+    name = "genetic"
+
+    # -- population helpers --------------------------------------------------
+
+    def _mutate(self, candidate: Candidate, rng: random.Random) -> Candidate:
+        """Apply 1..``mutation_moves`` sampled neighbourhood moves."""
+        moves = rng.randint(1, max(1, self._config.mutation_moves))
+        for _ in range(moves):
+            neighbors = self._sampler.sample(candidate, rng, 1)
+            if not neighbors:
+                break
+            _, candidate = neighbors[0]
+        return candidate
+
+    def _initial_population(
+        self, initial: Candidate, rng: random.Random
+    ) -> List[Candidate]:
+        """The seed candidate plus distinct mutants of it."""
+        population = [initial]
+        seen = {initial.fingerprint}
+        budget = self._config.population_size * 8
+        while len(population) < self._config.population_size and budget > 0:
+            budget -= 1
+            mutant = self._mutate(initial, rng)
+            if mutant.fingerprint in seen:
+                continue
+            seen.add(mutant.fingerprint)
+            population.append(mutant)
+        return population
+
+    def _crossover(
+        self, first: Candidate, second: Candidate, rng: random.Random
+    ) -> Candidate:
+        """Uniform mapping crossover; platform and validity come from a donor.
+
+        Each process takes its processor from either parent, falling back to
+        the donor's choice when the other parent's processor is not active on
+        the donor's platform (only possible with architecture sizing).
+        """
+        donor, other = (first, second) if rng.random() < 0.5 else (second, first)
+        problem = self._evaluator.problem
+        allowed = set(problem.processors_for(donor))
+        other_assignment = other.assignment_dict
+        pairs: List[Tuple[str, str]] = []
+        for name, pe_name in donor.assignment:
+            choice = pe_name if rng.random() < 0.5 else other_assignment[name]
+            if choice not in allowed:
+                choice = pe_name
+            pairs.append((name, choice))
+        priority = (
+            donor.priority_function
+            if rng.random() < 0.5
+            else other.priority_function
+        )
+        bias = donor.priority_bias if rng.random() < 0.5 else other.priority_bias
+        return Candidate(
+            assignment=tuple(sorted(pairs)),
+            priority_function=priority,
+            priority_bias=bias,
+            platform=donor.platform,
+        )
+
+    # -- NSGA ranking ---------------------------------------------------------
+
+    @staticmethod
+    def _rank(
+        evaluations: Sequence[CandidateEvaluation],
+    ) -> Tuple[List[int], List[float]]:
+        """Front rank and crowding distance per individual.
+
+        Feasible individuals are ranked by non-dominated sorting of their
+        objective vectors; infeasible ones all share the worst rank with zero
+        crowding, so they only survive when there is nothing better.
+        """
+        feasible = [i for i, ev in enumerate(evaluations) if ev.feasible]
+        ranks = [len(evaluations) + 1] * len(evaluations)
+        crowding = [0.0] * len(evaluations)
+        if feasible:
+            vectors = [evaluations[i].objectives for i in feasible]
+            fronts = non_dominated_sort(vectors)
+            for rank, front in enumerate(fronts):
+                front_vectors = [vectors[j] for j in front]
+                distances = crowding_distances(front_vectors)
+                for j, distance in zip(front, distances):
+                    ranks[feasible[j]] = rank
+                    crowding[feasible[j]] = distance
+        return ranks, crowding
+
+    def _tournament(
+        self,
+        population: Sequence[Candidate],
+        evaluations: Sequence[CandidateEvaluation],
+        ranks: Sequence[int],
+        crowding: Sequence[float],
+        rng: random.Random,
+    ) -> int:
+        """Binary/k-way tournament on (rank, crowding, scalar cost)."""
+        size = min(max(2, self._config.tournament_size), len(population))
+        contenders = rng.sample(range(len(population)), size)
+        return min(
+            contenders,
+            key=lambda i: (
+                ranks[i],
+                -crowding[i],
+                evaluations[i].cost,
+                population[i].fingerprint,
+            ),
+        )
+
+    def _select_survivors(
+        self,
+        population: List[Candidate],
+        evaluations: List[CandidateEvaluation],
+    ) -> Tuple[List[Candidate], List[CandidateEvaluation]]:
+        """Keep the best ``population_size`` of a pooled parent+child set."""
+        # Deduplicate by fingerprint first (children may recreate parents).
+        unique: Dict[str, int] = {}
+        for index, candidate in enumerate(population):
+            unique.setdefault(candidate.fingerprint, index)
+        indices = sorted(unique.values())
+        pooled = [population[i] for i in indices]
+        pooled_evals = [evaluations[i] for i in indices]
+        ranks, crowding = self._rank(pooled_evals)
+        order = sorted(
+            range(len(pooled)),
+            key=lambda i: (
+                ranks[i],
+                -crowding[i],
+                pooled_evals[i].cost,
+                pooled[i].fingerprint,
+            ),
+        )
+        keep = order[: self._config.population_size]
+        return [pooled[i] for i in keep], [pooled_evals[i] for i in keep]
+
+    # -- the generation loop ---------------------------------------------------
+
+    def run(self, initial: Candidate) -> ExplorationResult:
+        """Evolve a population from the seed candidate; report best + front."""
+        config = self._config
+        rng = random.Random(config.seed)
+        front = self._evaluator.front
+        offers_frontwards = front is None  # otherwise the evaluator offers
+        if front is None:
+            front = ParetoFront()
+
+        population = self._initial_population(initial, rng)
+        evaluations = self._evaluator.evaluate_many(population)
+        if offers_frontwards:
+            front.offer_many(population, evaluations)
+        initial_eval = evaluations[0]
+
+        def better(index: int) -> Tuple[float, str]:
+            return (evaluations[index].cost, population[index].fingerprint)
+
+        best_index = min(range(len(population)), key=better)
+        best, best_eval = population[best_index], evaluations[best_index]
+        if not best_eval.feasible:
+            best, best_eval = initial, initial_eval
+
+        state = SearchState(
+            evaluations=len(population),
+            best_cost=best_eval.cost if best_eval.feasible else math.inf,
+        )
+        trajectory: List[TrajectoryPoint] = []
+
+        reason = self._stop_reason(state)
+        while reason is None:
+            ranks, crowding = self._rank(evaluations)
+            children: List[Candidate] = []
+            for _ in range(config.population_size):
+                first = self._tournament(
+                    population, evaluations, ranks, crowding, rng
+                )
+                second = self._tournament(
+                    population, evaluations, ranks, crowding, rng
+                )
+                if rng.random() < config.crossover_rate:
+                    child = self._crossover(
+                        population[first], population[second], rng
+                    )
+                else:
+                    winner = min(
+                        (first, second),
+                        key=lambda i: (ranks[i], -crowding[i], evaluations[i].cost),
+                    )
+                    child = population[winner]
+                children.append(self._mutate(child, rng))
+
+            child_evaluations = self._evaluator.evaluate_many(children)
+            if offers_frontwards:
+                front.offer_many(children, child_evaluations)
+            state.evaluations += len(children)
+
+            # Track the best against every *evaluated* child, before survivor
+            # selection: crowding truncation may drop the scalar-best child
+            # from the next population, but it was still found by this run.
+            improved = False
+            for candidate, evaluation in zip(children, child_evaluations):
+                if evaluation.feasible and (
+                    evaluation.cost < best_eval.cost - 1e-9
+                    or not best_eval.feasible
+                ):
+                    best, best_eval = candidate, evaluation
+                    improved = True
+
+            survivor_fingerprints = {c.fingerprint for c in population}
+            population, evaluations = self._select_survivors(
+                population + children, evaluations + child_evaluations
+            )
+            fresh_survivors = sum(
+                1
+                for candidate in population
+                if candidate.fingerprint not in survivor_fingerprints
+            )
+            state.cycle += 1
+            if improved:
+                state.cycles_since_improvement = 0
+                state.best_cost = best_eval.cost
+            else:
+                state.cycles_since_improvement += 1
+
+            generation_best = min(
+                (ev.cost for ev in evaluations if ev.feasible),
+                default=math.inf,
+            )
+            trajectory.append(
+                TrajectoryPoint(
+                    cycle=state.cycle,
+                    move=f"generation ({len(front)} front points)",
+                    cost=generation_best,
+                    best_cost=best_eval.cost,
+                    accepted=fresh_survivors,
+                )
+            )
+            reason = self._stop_reason(state)
+
+        return ExplorationResult(
+            engine=self.name,
+            initial_candidate=initial,
+            initial=initial_eval,
+            best_candidate=best,
+            best=best_eval,
+            trajectory=trajectory,
+            cycles=state.cycle,
+            evaluations=state.evaluations,
+            stop_reason=reason or "stopped",
+            cache=self._evaluator.stats,
+            front=front.snapshot(),
+        )

@@ -1,14 +1,25 @@
-"""Neighbourhood moves over the mapping/priority design space.
+"""Neighbourhood moves over the mapping/priority/platform design space.
 
-Four move kinds span the space the explorer searches:
+Four move kinds span the space every problem exposes:
 
-* ``remap``    — move one process to a different processor;
+* ``remap``    — move one process to a different (active) processor;
 * ``swap``     — exchange the processors of two processes;
 * ``priority`` — switch the list scheduler to another registered priority
   function;
 * ``bias``     — perturb the dispatch priority of one process by a small
   additive step (ties the explorer into the scheduler's secondary degrees of
   freedom, not only the mapping).
+
+When the problem declares :class:`~repro.exploration.ArchitectureBounds`,
+four *architecture-sizing* kinds join the neighbourhood, so the search can
+resize the platform instead of only remapping onto it:
+
+* ``add_pe`` / ``remove_pe`` — instantiate one more programmable processor
+  (from the problem's deterministic spare-name pool) or retire an *empty*
+  one, staying within the declared processor bounds;
+* ``add_bus`` / ``remove_bus`` — likewise for buses.  Bus removal may make
+  candidates infeasible (a communication can lose its last connecting bus);
+  the evaluator scores those as infinite cost rather than raising.
 
 Moves are small frozen descriptions (kind + operands) applied functionally:
 ``move.apply(candidate)`` derives the neighbour without mutating the origin.
@@ -41,6 +52,11 @@ _MOVE_WEIGHTS: Tuple[Tuple[str, float], ...] = (
     ("priority", 0.1),
 )
 
+#: Extra draw weight of the architecture-sizing kinds, appended only when the
+#: problem declares bounds, so fixed-architecture searches keep the exact
+#: neighbourhood (and per-seed trajectories) they had before sizing existed.
+_SIZING_WEIGHT: float = 0.25
+
 
 @dataclass(frozen=True)
 class Move:
@@ -50,6 +66,7 @@ class Move:
     operands: Tuple = ()
 
     def apply(self, candidate: Candidate) -> Candidate:
+        """Derive the neighbour this move describes (the origin is untouched)."""
         if self.kind == "remap":
             process, pe_name = self.operands
             return candidate.reassigned(process, pe_name)
@@ -62,9 +79,19 @@ class Move:
         if self.kind == "bias":
             process, delta = self.operands
             return candidate.with_bias(process, delta)
+        if self.kind == "add_pe":
+            (name,) = self.operands
+            return candidate.with_element(name, "programmable")
+        if self.kind == "add_bus":
+            (name,) = self.operands
+            return candidate.with_element(name, "bus")
+        if self.kind in ("remove_pe", "remove_bus"):
+            (name,) = self.operands
+            return candidate.without_element(name)
         raise ValueError(f"unknown move kind {self.kind!r}")
 
     def describe(self) -> str:
+        """Short human-readable form used in trajectories and reports."""
         if self.kind == "remap":
             process, pe_name = self.operands
             return f"remap {process} -> {pe_name}"
@@ -76,6 +103,10 @@ class Move:
         if self.kind == "bias":
             process, delta = self.operands
             return f"bias {process} {delta:+g}"
+        if self.kind in ("add_pe", "add_bus"):
+            return f"add {self.operands[0]}"
+        if self.kind in ("remove_pe", "remove_bus"):
+            return f"remove {self.operands[0]}"
         return self.kind
 
     def __str__(self) -> str:
@@ -96,13 +127,48 @@ class NeighborhoodSampler:
         self._problem = problem
         self._priority_choices = tuple(priority_choices)
         self._bias_steps = tuple(bias_steps)
-        self._kinds = [kind for kind, _ in _MOVE_WEIGHTS]
-        self._weights = [weight for _, weight in _MOVE_WEIGHTS]
+        weights = list(_MOVE_WEIGHTS)
+        if problem.bounds is not None:
+            weights.append(("size", _SIZING_WEIGHT))
+        self._kinds = [kind for kind, _ in weights]
+        self._weights = [weight for _, weight in weights]
+
+    # -- sizing sub-moves ----------------------------------------------------
+
+    def _sizing_moves(self, candidate: Candidate) -> List[Move]:
+        """Every legal add/remove move around a candidate, in a stable order."""
+        bounds = self._problem.bounds
+        if bounds is None or not candidate.platform:
+            return []
+        moves: List[Move] = []
+        active_processors = set(candidate.platform_processors)
+        active_buses = set(candidate.platform_buses)
+        if len(active_processors) < bounds.max_processors:
+            for name in self._problem.spare_processor_names:
+                if name not in active_processors:
+                    moves.append(Move("add_pe", (name,)))
+                    break  # deterministic: always the first spare name
+        if len(active_processors) > bounds.min_processors:
+            occupied = set(candidate.assignment_dict.values())
+            moves.extend(
+                Move("remove_pe", (name,))
+                for name in sorted(active_processors - occupied)
+            )
+        if len(active_buses) < bounds.max_buses:
+            for name in self._problem.spare_bus_names:
+                if name not in active_buses:
+                    moves.append(Move("add_bus", (name,)))
+                    break
+        if len(active_buses) > bounds.min_buses:
+            moves.extend(
+                Move("remove_bus", (name,)) for name in sorted(active_buses)
+            )
+        return moves
 
     def _draw(self, candidate: Candidate, rng: random.Random) -> Optional[Move]:
         kind = rng.choices(self._kinds, weights=self._weights, k=1)[0]
         processes = self._problem.movable_processes
-        processors = self._problem.processor_names
+        processors = self._problem.processors_for(candidate)
         if kind == "remap" and len(processors) > 1:
             process = rng.choice(processes)
             targets = [pe for pe in processors if pe != candidate.pe_of(process)]
@@ -122,6 +188,11 @@ class NeighborhoodSampler:
         if kind == "bias":
             process = rng.choice(processes)
             return Move("bias", (process, rng.choice(self._bias_steps)))
+        if kind == "size":
+            legal = self._sizing_moves(candidate)
+            if legal:
+                return rng.choice(legal)
+            return None
         return None
 
     def sample(
@@ -134,9 +205,10 @@ class NeighborhoodSampler:
         """Draw up to ``count`` neighbours with pairwise-distinct fingerprints.
 
         Draws that produce no-ops (swapping two processes already co-located,
-        remapping on a single-processor architecture) or duplicate an earlier
-        neighbour are retried a bounded number of times, so degenerate design
-        spaces yield short batches instead of looping forever.
+        remapping on a single-processor architecture, sizing a platform
+        already at its bounds) or duplicate an earlier neighbour are retried a
+        bounded number of times, so degenerate design spaces yield short
+        batches instead of looping forever.
         """
         neighbors: List[Tuple[Move, Candidate]] = []
         seen = {candidate.fingerprint}

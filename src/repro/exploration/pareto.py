@@ -1,0 +1,223 @@
+"""Non-dominated fronts over vector candidate costs.
+
+The single-objective engines minimise one weighted scalar; real co-synthesis
+trades the paper's worst-case delay against how fast the *other* scenarios
+run, how evenly the processors are loaded and how much silicon the platform
+costs.  This module provides the multi-objective machinery shared by the
+genetic engine and the ``--pareto`` reporting path:
+
+* :func:`dominates` / :func:`non_dominated_sort` / :func:`crowding_distances`
+  — the NSGA-II primitives over objective vectors (all objectives minimised);
+* :class:`ParetoFront` — an incrementally maintained set of mutually
+  non-dominated design points keyed on the vector
+  ``(delta_max, mean_path_delay, load_imbalance, architecture_cost)``
+  (see :attr:`repro.exploration.CandidateEvaluation.objectives`).
+
+A front only ever accepts feasible evaluations, drops every point a newcomer
+dominates, and keeps its points sorted by objective vector (fingerprint as the
+tie-break), so iterating a front is deterministic for a deterministic offer
+stream — which is what makes per-seed front reproducibility testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .candidate import Candidate
+from .cost import CandidateEvaluation
+
+#: Names of the objective-vector components, in vector order.  All objectives
+#: are minimised.
+OBJECTIVE_NAMES: Tuple[str, ...] = (
+    "delta_max",
+    "mean_path_delay",
+    "load_imbalance",
+    "architecture_cost",
+)
+
+Vector = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when vector ``a`` Pareto-dominates ``b`` (minimisation).
+
+    ``a`` dominates ``b`` when it is no worse in every objective and strictly
+    better in at least one.  Equal vectors do not dominate each other.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    not_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return not_worse and strictly_better
+
+
+def non_dominated_sort(vectors: Sequence[Sequence[float]]) -> List[List[int]]:
+    """Partition vector indices into fronts (NSGA-II fast non-dominated sort).
+
+    Returns a list of fronts; ``fronts[0]`` holds the indices of the vectors
+    nothing dominates, ``fronts[1]`` the vectors only dominated by front 0,
+    and so on.  Within each front, indices keep their input order, so the sort
+    is deterministic for a deterministic input sequence.
+    """
+    n = len(vectors)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(vectors[i], vectors[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(vectors[j], vectors[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if domination_count[i] == 0]
+    while current:
+        fronts.append(current)
+        following: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    following.append(j)
+        current = sorted(following)
+    return fronts
+
+
+def crowding_distances(vectors: Sequence[Sequence[float]]) -> List[float]:
+    """NSGA-II crowding distance of each vector within one front.
+
+    Boundary points of every objective get infinite distance; interior points
+    accumulate the normalised gap between their neighbours.  Larger values
+    mean less crowded, i.e. more valuable for diversity-preserving selection.
+    """
+    n = len(vectors)
+    if n == 0:
+        return []
+    if n <= 2:
+        return [float("inf")] * n
+    distances = [0.0] * n
+    objectives = len(vectors[0])
+    for axis in range(objectives):
+        order = sorted(range(n), key=lambda i: (vectors[i][axis], i))
+        low = vectors[order[0]][axis]
+        high = vectors[order[-1]][axis]
+        distances[order[0]] = distances[order[-1]] = float("inf")
+        span = high - low
+        if span <= 0:
+            continue
+        for position in range(1, n - 1):
+            index = order[position]
+            if distances[index] == float("inf"):
+                continue
+            previous = vectors[order[position - 1]][axis]
+            following = vectors[order[position + 1]][axis]
+            distances[index] += (following - previous) / span
+    return distances
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated design point: the candidate and its evaluation."""
+
+    candidate: Candidate
+    evaluation: CandidateEvaluation
+
+    @property
+    def objectives(self) -> Vector:
+        """The minimised objective vector (see :data:`OBJECTIVE_NAMES`)."""
+        return self.evaluation.objectives
+
+
+class ParetoFront:
+    """An incrementally maintained set of mutually non-dominated points.
+
+    Offer every evaluation a search produces; the front keeps the feasible,
+    non-dominated subset.  Invariants (asserted by the test suite):
+
+    * no point of the front dominates another;
+    * every accepted point evicts the points it dominates;
+    * duplicate objective vectors keep the first-offered candidate, so a
+      deterministic offer stream yields a deterministic front.
+    """
+
+    def __init__(self) -> None:
+        self._points: List[ParetoPoint] = []
+        self._offered = 0
+        self._accepted = 0
+
+    # -- growth --------------------------------------------------------------
+
+    def offer(self, candidate: Candidate, evaluation: CandidateEvaluation) -> bool:
+        """Consider one design point; return True when the front accepted it."""
+        self._offered += 1
+        if not evaluation.feasible:
+            return False
+        vector = evaluation.objectives
+        for point in self._points:
+            existing = point.objectives
+            if existing == vector or dominates(existing, vector):
+                return False
+        self._points = [
+            point for point in self._points if not dominates(vector, point.objectives)
+        ]
+        self._points.append(ParetoPoint(candidate, evaluation))
+        self._points.sort(key=lambda p: (p.objectives, p.candidate.fingerprint))
+        self._accepted += 1
+        return True
+
+    def offer_many(
+        self,
+        candidates: Sequence[Candidate],
+        evaluations: Sequence[CandidateEvaluation],
+    ) -> int:
+        """Offer a batch in order; return how many points were accepted."""
+        return sum(
+            1
+            for candidate, evaluation in zip(candidates, evaluations)
+            if self.offer(candidate, evaluation)
+        )
+
+    def snapshot(self) -> "ParetoFront":
+        """An independent copy of the front's current state.
+
+        Engines attach a snapshot to their result so that later runs sharing
+        the same live explorer front cannot retroactively change what an
+        earlier run reported.
+        """
+        copy = ParetoFront()
+        copy._points = list(self._points)
+        copy._offered = self._offered
+        copy._accepted = self._accepted
+        return copy
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def points(self) -> Tuple[ParetoPoint, ...]:
+        """The non-dominated points, sorted by objective vector."""
+        return tuple(self._points)
+
+    @property
+    def offered(self) -> int:
+        """How many design points were offered over the front's lifetime."""
+        return self._offered
+
+    @property
+    def accepted(self) -> int:
+        """How many offers were (at least temporarily) accepted."""
+        return self._accepted
+
+    def vectors(self) -> Tuple[Vector, ...]:
+        """The objective vectors of the current points, in front order."""
+        return tuple(point.objectives for point in self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[ParetoPoint]:
+        return iter(self._points)
+
+    def __repr__(self) -> str:
+        return f"ParetoFront({len(self._points)} points, {self._offered} offered)"

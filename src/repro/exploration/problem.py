@@ -9,6 +9,12 @@ into the full evaluation pipeline of the repository:
     candidate -> Mapping -> expand_communications -> PathListScheduler
               -> ScheduleMerger.merge -> cost components
 
+With :class:`ArchitectureBounds` the problem also spans *architecture sizing*:
+candidates carry an explicit platform (which programmable processors and buses
+exist) and :meth:`ExplorationProblem.architecture_for` materialises the sized
+architecture a candidate describes, so the search can resize the platform, not
+just remap onto it.
+
 Problems serialise to the repository's JSON system-description format
 (:func:`repro.io.system_to_dict`), which is how the parallel evaluation pool
 ships them to worker processes: each worker rebuilds the problem once from the
@@ -18,13 +24,87 @@ no condition-universe bitmask) ever crosses a process boundary.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Tuple
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..architecture.architecture import Architecture
 from ..architecture.mapping import Mapping
+from ..architecture.processing_element import bus as make_bus
+from ..architecture.processing_element import programmable
 from ..graph.cpg import ConditionalProcessGraph
 from ..io.serialization import system_from_dict, system_to_dict
 from .candidate import DEFAULT_PRIORITY_FUNCTION, Candidate
+
+
+@dataclass(frozen=True)
+class ArchitectureBounds:
+    """Declared limits of the architecture-sizing design space.
+
+    Passing bounds to an :class:`ExplorationProblem` turns architecture sizing
+    on: candidates then carry an explicit *platform* (which programmable
+    processors and buses exist) and the sampler may add or remove elements
+    within these limits.  Hardware processors (ASICs) are never sizable.
+
+    Parameters
+    ----------
+    max_processors / min_processors:
+        Inclusive bounds on the number of programmable processors.
+        ``max_processors=None`` resolves to "two more than the seed
+        architecture provides".
+    max_buses / min_buses:
+        Inclusive bounds on the number of buses.  ``max_buses=None`` resolves
+        to "one more than the seed architecture provides".  Keep
+        ``min_buses >= 1`` whenever processes communicate across processors —
+        removing the last bus makes every such design point infeasible.
+    processor_speed / bus_speed:
+        Relative speed of the elements the search *adds* (seed elements keep
+        their own speeds).
+    """
+
+    max_processors: Optional[int] = None
+    min_processors: int = 1
+    max_buses: Optional[int] = None
+    min_buses: int = 1
+    processor_speed: float = 1.0
+    bus_speed: float = 1.0
+
+    def resolved_for(self, architecture: Architecture) -> "ArchitectureBounds":
+        """Fill the ``None`` maxima from the seed architecture's element counts."""
+        max_processors = self.max_processors
+        if max_processors is None:
+            max_processors = len(architecture.programmable_processors) + 2
+        max_buses = self.max_buses
+        if max_buses is None:
+            max_buses = len(architecture.buses) + 1
+        bounds = replace(self, max_processors=max_processors, max_buses=max_buses)
+        bounds.validate()
+        return bounds
+
+    def validate(self) -> None:
+        """Reject bounds no platform could satisfy."""
+        if self.min_processors < 1:
+            raise ValueError("min_processors must be at least 1")
+        if self.min_buses < 0:
+            raise ValueError("min_buses must be non-negative")
+        if self.max_processors is not None and self.max_processors < self.min_processors:
+            raise ValueError("max_processors must be >= min_processors")
+        if self.max_buses is not None and self.max_buses < self.min_buses:
+            raise ValueError("max_buses must be >= min_buses")
+        if self.processor_speed <= 0 or self.bus_speed <= 0:
+            raise ValueError("element speeds must be positive")
+
+
+def _spare_names(prefix: str, taken: set, count: int) -> Tuple[str, ...]:
+    """Deterministic pool of fresh element names avoiding ``taken``."""
+    names: List[str] = []
+    index = 1
+    while len(names) < count:
+        name = f"{prefix}{index}"
+        index += 1
+        if name in taken:
+            continue
+        names.append(name)
+    return tuple(names)
 
 
 class ExplorationProblem:
@@ -40,6 +120,10 @@ class ExplorationProblem:
         partitioning, or by the random generator).
     architecture:
         Defaults to ``mapping.architecture``.
+    bounds:
+        Optional :class:`ArchitectureBounds`.  When given, architecture sizing
+        is enabled: candidates carry an explicit platform and the search may
+        add or remove programmable processors and buses within the bounds.
     """
 
     def __init__(
@@ -48,6 +132,7 @@ class ExplorationProblem:
         mapping: Mapping,
         architecture: Optional[Architecture] = None,
         name: Optional[str] = None,
+        bounds: Optional[ArchitectureBounds] = None,
     ) -> None:
         self._graph = graph
         self._architecture = architecture or mapping.architecture
@@ -59,11 +144,30 @@ class ExplorationProblem:
         self._processors: Tuple[str, ...] = tuple(
             pe.name for pe in self._architecture.processors
         )
+        self._bounds: Optional[ArchitectureBounds] = None
+        self._spare_processors: Tuple[str, ...] = ()
+        self._spare_buses: Tuple[str, ...] = ()
+        self._architecture_cache: Dict[Tuple[Tuple[str, str], ...], Architecture] = {}
+        if bounds is not None:
+            self._bounds = bounds.resolved_for(self._architecture)
+            taken = {pe.name for pe in self._architecture.processing_elements}
+            headroom = self._bounds.max_processors - len(
+                self._architecture.programmable_processors
+            )
+            self._spare_processors = _spare_names("xpe", taken, max(0, headroom))
+            taken |= set(self._spare_processors)
+            headroom = self._bounds.max_buses - len(self._architecture.buses)
+            self._spare_buses = _spare_names("xbus", taken, max(0, headroom))
 
     # -- construction shortcuts ---------------------------------------------
 
     @classmethod
-    def from_system(cls, system: Any, name: Optional[str] = None) -> "ExplorationProblem":
+    def from_system(
+        cls,
+        system: Any,
+        name: Optional[str] = None,
+        bounds: Optional[ArchitectureBounds] = None,
+    ) -> "ExplorationProblem":
         """Build a problem from a generated or deserialised system.
 
         Accepts a :class:`repro.generator.GeneratedSystem` (uses its
@@ -75,8 +179,11 @@ class ExplorationProblem:
                 system.mapping,
                 system.architecture,
                 name=name,
+                bounds=bounds,
             )
-        return cls(system.graph, system.mapping, system.architecture, name=name)
+        return cls(
+            system.graph, system.mapping, system.architecture, name=name, bounds=bounds
+        )
 
     # -- accessors -----------------------------------------------------------
 
@@ -99,20 +206,108 @@ class ExplorationProblem:
 
     @property
     def processor_names(self) -> Tuple[str, ...]:
-        """Names of the non-bus processing elements candidates may use."""
+        """Names of the non-bus processing elements of the *base* architecture."""
         return self._processors
+
+    @property
+    def bounds(self) -> Optional[ArchitectureBounds]:
+        """The resolved sizing bounds, or None when sizing is disabled."""
+        return self._bounds
+
+    @property
+    def spare_processor_names(self) -> Tuple[str, ...]:
+        """Deterministic name pool for processors the search may add."""
+        return self._spare_processors
+
+    @property
+    def spare_bus_names(self) -> Tuple[str, ...]:
+        """Deterministic name pool for buses the search may add."""
+        return self._spare_buses
 
     def initial_candidate(
         self, priority_function: str = DEFAULT_PRIORITY_FUNCTION
     ) -> Candidate:
-        """The search's starting point: the seed mapping, unperturbed priorities."""
+        """The search's starting point: the seed mapping, unperturbed priorities.
+
+        With sizing enabled the candidate's platform lists the seed
+        architecture's programmable processors and buses explicitly.
+        """
+        platform: Tuple[Tuple[str, str], ...] = ()
+        if self._bounds is not None:
+            platform = tuple(sorted(
+                [(pe.name, "programmable")
+                 for pe in self._architecture.programmable_processors]
+                + [(pe.name, "bus") for pe in self._architecture.buses]
+            ))
         return Candidate.from_mapping(
-            self._base_mapping, self._movable, priority_function
+            self._base_mapping, self._movable, priority_function, platform=platform
         )
+
+    def architecture_for(self, candidate: Candidate) -> Architecture:
+        """The architecture a candidate's platform describes (base when empty).
+
+        Sized architectures are cached by platform tuple: many candidates
+        share the same platform, and :class:`~repro.architecture.Architecture`
+        construction validates topology each time.
+        """
+        if not candidate.platform:
+            return self._architecture
+        cached = self._architecture_cache.get(candidate.platform)
+        if cached is not None:
+            return cached
+        base = self._architecture
+        speeds = self._bounds or ArchitectureBounds().resolved_for(base)
+        processors = list(base.hardware_processors)
+        for name in candidate.platform_processors:
+            existing = base.get(name)
+            processors.append(
+                existing
+                if existing is not None
+                else programmable(name, speed=speeds.processor_speed)
+            )
+        active_names = {pe.name for pe in processors}
+        all_base = {pe.name for pe in base.processors}
+        buses = []
+        connectivity: Dict[str, Iterable[str]] = {}
+        for name in candidate.platform_buses:
+            existing = base.get(name)
+            if existing is None:
+                buses.append(make_bus(name, speed=speeds.bus_speed))
+                continue
+            buses.append(existing)
+            connected = {pe.name for pe in base.processors_on_bus(name)}
+            if connected != all_base:
+                # A restricted bus stays restricted (intersected with the
+                # active set); fully-connected buses keep connecting
+                # everything, including processors the search added.
+                connectivity[name] = sorted(connected & active_names)
+        architecture = Architecture(
+            processors,
+            buses,
+            condition_broadcast_time=base.condition_broadcast_time,
+            connectivity=connectivity or None,
+        )
+        self._architecture_cache[candidate.platform] = architecture
+        return architecture
+
+    def processors_for(self, candidate: Candidate) -> Tuple[str, ...]:
+        """Names of the processors a candidate's processes may be mapped to."""
+        if not candidate.platform:
+            return self._processors
+        active = set(candidate.platform_processors)
+        ordered = [
+            pe.name
+            for pe in self._architecture.processors
+            if pe.is_hardware or pe.name in active
+        ]
+        ordered.extend(
+            name for name in self._spare_processors if name in active
+        )
+        return tuple(ordered)
 
     def mapping_for(self, candidate: Candidate) -> Mapping:
         """Materialise a candidate's assignment as a validated Mapping."""
-        mapping = candidate.to_mapping(self._architecture)
+        mapping = candidate.to_mapping(self.architecture_for(candidate))
         mapping.validate_for(self._movable)
         return mapping
 
@@ -120,15 +315,27 @@ class ExplorationProblem:
 
     def to_payload(self) -> Dict[str, Any]:
         """Serialise to the JSON system-description document (picklable)."""
-        return system_to_dict(
+        payload = system_to_dict(
             self._graph, self._architecture, self._base_mapping, name=self.name
         )
+        if self._bounds is not None:
+            payload["sizing_bounds"] = asdict(self._bounds)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "ExplorationProblem":
         """Rebuild a problem from :meth:`to_payload` output (in a worker)."""
         system = system_from_dict(payload)
-        return cls(system.graph, system.mapping, system.architecture, name=system.name)
+        bounds = None
+        if "sizing_bounds" in payload:
+            bounds = ArchitectureBounds(**payload["sizing_bounds"])
+        return cls(
+            system.graph,
+            system.mapping,
+            system.architecture,
+            name=system.name,
+            bounds=bounds,
+        )
 
     def __repr__(self) -> str:
         return (

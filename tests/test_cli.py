@@ -100,6 +100,55 @@ def test_explore_command_json_both_engines(capsys):
     assert again == document
 
 
+def test_explore_genetic_pareto_fig1_json(capsys):
+    """The acceptance scenario: a deterministic-per-seed non-dominated front
+    with >= 2 distinct trade-off points on the Fig. 1 example, sizing on."""
+    arguments = ["explore", "--fig1", "--size-architecture",
+                 "--engine", "genetic", "--pareto", "--json",
+                 "--cycles", "6", "--population", "12", "--seed", "0"]
+    assert main(arguments) == 0
+    document = json.loads(capsys.readouterr().out)
+    (result,) = document["results"]
+    assert result["engine"] == "genetic"
+    front = result["front"]
+    assert front["size"] >= 2
+    vectors = [
+        tuple(point["objectives"][key] for key in sorted(point["objectives"]))
+        for point in front["points"]
+    ]
+    assert len(set(vectors)) == len(vectors)  # distinct trade-off points
+    for point in front["points"]:
+        assert point["platform"]["processors"]  # sizing was enabled
+    # Determinism: identical JSON (front included) for identical arguments.
+    assert main(arguments) == 0
+    again = json.loads(capsys.readouterr().out)
+    assert again == document
+
+
+def test_explore_genetic_pareto_text_output(capsys):
+    assert main(["explore", "--nodes", "14", "--paths", "2", "--seed", "1",
+                 "--engine", "genetic", "--pareto", "--cycles", "2",
+                 "--population", "6"]) == 0
+    output = capsys.readouterr().out
+    assert "Pareto front (genetic)" in output
+    assert "delta_max" in output and "arch cost" in output
+
+
+def test_explore_engine_all_runs_three_engines(capsys):
+    assert main(["explore", "--nodes", "14", "--paths", "2", "--seed", "1",
+                 "--engine", "all", "--cycles", "2", "--neighbors", "2",
+                 "--population", "4", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert {result["engine"] for result in document["results"]} == {
+        "tabu", "anneal", "genetic"
+    }
+
+
+def test_explore_fig1_and_system_file_mutually_exclusive(system_file, capsys):
+    assert main(["explore", str(system_file), "--fig1"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
 def test_explore_command_on_system_file(system_file, capsys):
     assert main(["explore", str(system_file), "--cycles", "2",
                  "--neighbors", "2"]) == 0

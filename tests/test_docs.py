@@ -1,0 +1,98 @@
+"""Documentation health checks: links resolve, docstrings exist.
+
+Runs the offline markdown link checker (``scripts/check_links.py``) over the
+curated documentation set, requires the ``docs/`` tree the README points to,
+and enforces the docstring conventions of the public surface: every module of
+``repro.exploration`` carries a module docstring and every symbol re-exported
+from ``repro`` documents itself.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(ROOT / "scripts"))
+
+from check_links import broken_links, documentation_files, links_in  # noqa: E402
+
+import repro  # noqa: E402
+import repro.exploration  # noqa: E402
+
+
+class TestMarkdownLinks:
+    def test_documentation_set_includes_the_docs_tree(self):
+        names = {path.relative_to(ROOT).as_posix() for path in documentation_files()}
+        for expected in (
+            "README.md",
+            "PERFORMANCE.md",
+            "ROADMAP.md",
+            "docs/index.md",
+            "docs/architecture.md",
+            "docs/exploration.md",
+            "docs/cli.md",
+        ):
+            assert expected in names, f"{expected} missing from the link check"
+
+    def test_angle_bracketed_targets_are_extracted(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[spaced](<my guide.md>) and [plain](other.md) and "
+            "`[code](ignored.md)`\n"
+        )
+        targets = {link.target for link in links_in(page)}
+        assert targets == {"my guide.md", "other.md"}
+
+    def test_no_broken_relative_links(self):
+        failures = broken_links()
+        assert not failures, "broken markdown links: " + ", ".join(
+            f"{link.source.relative_to(ROOT)} -> {link.target}"
+            for link in failures
+        )
+
+
+class TestDocstrings:
+    def test_every_exploration_module_has_a_docstring(self):
+        package = repro.exploration
+        modules = [package]
+        for info in pkgutil.iter_modules(package.__path__):
+            modules.append(
+                importlib.import_module(f"{package.__name__}.{info.name}")
+            )
+        assert len(modules) > 5  # the package plus its submodules
+        for module in modules:
+            assert module.__doc__ and module.__doc__.strip(), (
+                f"{module.__name__} lacks a module docstring"
+            )
+
+    def test_every_public_symbol_documents_itself(self):
+        undocumented = []
+        for name in repro.__all__:
+            if name == "__version__":
+                continue  # a plain string, not an API object
+            symbol = getattr(repro, name)
+            doc = getattr(symbol, "__doc__", None)
+            if not doc or not doc.strip():
+                undocumented.append(name)
+        assert not undocumented, (
+            "public symbols without docstrings: " + ", ".join(undocumented)
+        )
+
+    def test_exploration_exports_document_themselves(self):
+        undocumented = []
+        for name in repro.exploration.__all__:
+            symbol = getattr(repro.exploration, name)
+            if isinstance(symbol, (dict, tuple, int, float, str)):
+                continue  # data constants (ENGINES, OBJECTIVE_NAMES) carry no __doc__
+            if type(symbol).__module__ == "typing":
+                continue  # typing aliases (StoppingCriterion) cannot hold __doc__
+            doc = getattr(symbol, "__doc__", None)
+            if not doc or not doc.strip():
+                undocumented.append(name)
+        assert not undocumented, (
+            "exploration symbols without docstrings: " + ", ".join(undocumented)
+        )

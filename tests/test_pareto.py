@@ -1,0 +1,162 @@
+"""Tests of the multi-objective primitives: dominance, sorting, fronts.
+
+The non-domination invariant of :class:`repro.exploration.ParetoFront` is the
+load-bearing property of every front the library reports — it is checked here
+directly, by construction cases and by a hypothesis sweep over random offer
+streams.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exploration import (
+    CandidateEvaluation,
+    ParetoFront,
+    crowding_distances,
+    dominates,
+    non_dominated_sort,
+)
+from repro.exploration.candidate import Candidate
+
+
+def _candidate(tag: str) -> Candidate:
+    """A tiny distinct candidate per tag (fingerprint differs per mapping)."""
+    return Candidate(assignment=(("P1", f"pe{tag}"),))
+
+
+def _evaluation(tag: str, vector, feasible: bool = True) -> CandidateEvaluation:
+    delta_max, mean_path_delay, load_imbalance, architecture_cost = vector
+    return CandidateEvaluation(
+        fingerprint=_candidate(tag).fingerprint,
+        cost=delta_max,
+        feasible=feasible,
+        delta_max=delta_max,
+        delta_m=delta_max,
+        mean_path_delay=mean_path_delay,
+        load_imbalance=load_imbalance,
+        architecture_cost=architecture_cost,
+    )
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1, 1, 1), (2, 2, 2, 2))
+
+    def test_better_in_one_objective_suffices(self):
+        assert dominates((1, 2, 2, 2), (2, 2, 2, 2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_incomparable_vectors(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            dominates((1, 2), (1, 2, 3))
+
+
+class TestNonDominatedSort:
+    def test_layers_match_manual_ranking(self):
+        vectors = [(1, 4), (4, 1), (2, 2), (3, 3), (5, 5)]
+        fronts = non_dominated_sort(vectors)
+        assert fronts[0] == [0, 1, 2]        # mutually incomparable
+        assert fronts[1] == [3]              # dominated only by (2, 2)
+        assert fronts[2] == [4]              # dominated by everything
+        assert sum(len(front) for front in fronts) == len(vectors)
+
+    def test_single_front_when_all_incomparable(self):
+        vectors = [(1, 3), (2, 2), (3, 1)]
+        assert non_dominated_sort(vectors) == [[0, 1, 2]]
+
+    def test_empty_input(self):
+        assert non_dominated_sort([]) == []
+
+
+class TestCrowdingDistances:
+    def test_boundaries_are_infinite(self):
+        distances = crowding_distances([(1, 5), (2, 4), (3, 3), (4, 2), (5, 1)])
+        assert distances[0] == math.inf and distances[-1] == math.inf
+        assert all(0 < d < math.inf for d in distances[1:-1])
+
+    def test_two_points_both_infinite(self):
+        assert crowding_distances([(1, 2), (2, 1)]) == [math.inf, math.inf]
+
+    def test_interior_spacing_is_reflected(self):
+        # The interior point bordering the big gap is less crowded (larger
+        # distance) than the one packed between close neighbours.
+        distances = crowding_distances([(0, 10), (1, 9), (2, 8), (10, 0)])
+        packed, gap_side = distances[1], distances[2]
+        assert 0 < packed < gap_side < math.inf
+
+
+class TestParetoFront:
+    def test_accepts_and_evicts(self):
+        front = ParetoFront()
+        assert front.offer(_candidate("a"), _evaluation("a", (5, 5, 0, 2)))
+        assert front.offer(_candidate("b"), _evaluation("b", (4, 6, 0, 2)))
+        assert len(front) == 2  # incomparable: both stay
+        # A dominating point evicts both.
+        assert front.offer(_candidate("c"), _evaluation("c", (3, 4, 0, 2)))
+        assert len(front) == 1
+        assert front.vectors() == ((3, 4, 0, 2),)
+
+    def test_rejects_dominated_and_duplicate_vectors(self):
+        front = ParetoFront()
+        front.offer(_candidate("a"), _evaluation("a", (3, 3, 0, 1)))
+        assert not front.offer(_candidate("b"), _evaluation("b", (4, 4, 0, 1)))
+        assert not front.offer(_candidate("c"), _evaluation("c", (3, 3, 0, 1)))
+        assert len(front) == 1
+        assert front.offered == 3 and front.accepted == 1
+
+    def test_infeasible_never_enters(self):
+        front = ParetoFront()
+        assert not front.offer(
+            _candidate("x"), _evaluation("x", (0, 0, 0, 0), feasible=False)
+        )
+        assert len(front) == 0
+
+    def test_points_sorted_by_objectives(self):
+        front = ParetoFront()
+        front.offer(_candidate("a"), _evaluation("a", (5, 1, 0, 2)))
+        front.offer(_candidate("b"), _evaluation("b", (1, 5, 0, 2)))
+        front.offer(_candidate("c"), _evaluation("c", (3, 3, 0, 2)))
+        assert front.vectors() == ((1, 5, 0, 2), (3, 3, 0, 2), (5, 1, 0, 2))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    vectors=st.lists(
+        st.tuples(
+            st.integers(0, 6), st.integers(0, 6),
+            st.integers(0, 6), st.integers(0, 6),
+        ),
+        min_size=0,
+        max_size=25,
+    )
+)
+def test_front_invariant_under_random_offer_streams(vectors):
+    """Property: after any offer stream, no front point dominates another,
+    and every rejected/evicted vector is dominated by (or equal to) a point."""
+    front = ParetoFront()
+    for index, vector in enumerate(vectors):
+        front.offer(_candidate(str(index)), _evaluation(str(index), vector))
+    kept = front.vectors()
+    for i, a in enumerate(kept):
+        for j, b in enumerate(kept):
+            if i != j:
+                assert not dominates(a, b), (a, b)
+    # Completeness: every offered vector is represented — either on the front
+    # or dominated by / equal to something on it.
+    for vector in vectors:
+        float_vector = tuple(float(x) for x in vector)
+        assert any(
+            point == float_vector or dominates(point, float_vector)
+            for point in kept
+        ), (vector, kept)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.reporting import as_dict, format_series, format_table
+from repro.analysis.reporting import (
+    as_dict,
+    format_pareto_front,
+    format_series,
+    format_table,
+)
 from repro.simulation.runtime import ExecutedActivity
 from repro.architecture import programmable
 
@@ -32,6 +37,33 @@ def test_format_series_custom_value_format():
 def test_format_series_empty_series():
     text = format_series("empty", "x", {})
     assert "empty" in text
+
+
+def test_format_pareto_front_renders_platform_and_objectives():
+    from repro.exploration import ParetoFront
+    from repro.exploration.candidate import Candidate
+    from repro.exploration.cost import CandidateEvaluation
+
+    front = ParetoFront()
+    sized = Candidate(
+        assignment=(("P1", "pe1"),),
+        platform=(("bus1", "bus"), ("pe1", "programmable")),
+    )
+    front.offer(sized, CandidateEvaluation(
+        fingerprint=sized.fingerprint, cost=10.0, feasible=True,
+        delta_max=10.0, delta_m=10.0, mean_path_delay=9.5,
+        load_imbalance=0.25, architecture_cost=1.5,
+    ))
+    unsized = Candidate(assignment=(("P1", "pe2"),))
+    front.offer(unsized, CandidateEvaluation(
+        fingerprint=unsized.fingerprint, cost=8.0, feasible=True,
+        delta_max=8.0, delta_m=8.0, mean_path_delay=11.0,
+        load_imbalance=0.5, architecture_cost=2.0,
+    ))
+    text = format_pareto_front("front", front)
+    assert "1 PE + 1 bus" in text  # the sized platform summary
+    assert "-" in text             # the unsized placeholder
+    assert "10" in text and "9.50" in text and "0.250" in text and "1.5" in text
 
 
 def test_executed_activity_flags():
