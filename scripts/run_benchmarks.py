@@ -77,6 +77,23 @@ GENETIC_WORKLOAD = {
 #: covers population-dynamics overhead on top of ~70 merges, so it is noisier.
 GENETIC_TOLERANCE = 0.5
 
+#: Communication-mapping benchmark workload: the paper's Fig. 1 graph on a
+#: *two-bus* variant of its platform, explored twice with the same
+#: engine/seed/cycle budget — once with the derived (least-index) bus
+#: assignment only, once with communication mapping as an explored dimension.
+#: Both searches are seeded pure Python, so the recorded best costs double as
+#: a determinism anchor, and the mapped run beating the derived run is the
+#: frozen acceptance fact of the communication-mapping work.
+COMM_MAPPING_WORKLOAD = {
+    "fig1_buses": 2,
+    "engine": "tabu",
+    "seed": 1,
+    "cycles": 16,
+    "neighbors": 6,
+}
+
+COMM_MAPPING_TOLERANCE = 0.5
+
 
 def _calibrate(repeats: int = 3) -> float:
     """Wall-time of a fixed pure-Python workload, proxying host speed.
@@ -225,6 +242,67 @@ def _measure_genetic() -> dict:
     }
 
 
+def _comm_mapping_problem(mapped: bool):
+    from repro.data import load_fig1_example
+    from repro.exploration import ExplorationProblem
+
+    spec = COMM_MAPPING_WORKLOAD
+    example = load_fig1_example(num_buses=spec["fig1_buses"])
+    return ExplorationProblem(
+        example.process_graph,
+        example.mapping,
+        example.architecture,
+        name="fig1-two-bus",
+        map_communications=mapped,
+    )
+
+
+def _measure_comm_mapping() -> dict:
+    """Explore the two-bus Fig. 1 system with and without communication mapping.
+
+    Runs :data:`COMM_MAPPING_WORKLOAD` twice under identical engine, seed and
+    cycle budget.  The derived run accepts the least-index bus pick for every
+    message (the pre-mapping behaviour: the second bus stays idle); the
+    mapped run may pin messages to buses.  Records both best costs — frozen
+    as the determinism/quality anchor ``--check`` replays — plus the realised
+    bus distribution of the mapped winner.
+    """
+    from collections import Counter
+
+    from repro.exploration import ExplorationConfig, Explorer
+
+    spec = COMM_MAPPING_WORKLOAD
+    config = ExplorationConfig(
+        seed=spec["seed"],
+        max_cycles=spec["cycles"],
+        neighbors_per_cycle=spec["neighbors"],
+    )
+
+    derived = Explorer(_comm_mapping_problem(False), config=config).explore(
+        spec["engine"]
+    )
+
+    mapped_problem = _comm_mapping_problem(True)
+    started = time.perf_counter()
+    mapped = Explorer(mapped_problem, config=config).explore(spec["engine"])
+    mapped_seconds = time.perf_counter() - started
+
+    bus_counts = Counter(
+        mapped_problem.communications_for(mapped.best_candidate).values()
+    )
+    return {
+        **spec,
+        "engine_seconds": round(mapped_seconds, 4),
+        "evaluations": mapped.evaluations,
+        "derived_best_cost": derived.best.cost,
+        "mapped_best_cost": mapped.best.cost,
+        "mapped_pins": len(mapped.best_candidate.communication_assignment),
+        "mapped_bus_distribution": dict(sorted(bus_counts.items())),
+        "mapped_bus_imbalance": mapped.best.bus_imbalance,
+        "tolerance": COMM_MAPPING_TOLERANCE,
+    }
+
+
 def run(output: Path, presets, repeats: int) -> dict:
     workloads = {}
     for preset in presets:
@@ -252,6 +330,26 @@ def run(output: Path, presets, repeats: int) -> dict:
         f"({genetic['evaluations']} evaluations, front of "
         f"{genetic['front_size']})"
     )
+    comm_mapping = _measure_comm_mapping()
+    if not comm_mapping["mapped_best_cost"] < comm_mapping["derived_best_cost"]:
+        # --check hard-fails on this invariant; refusing to freeze a baseline
+        # that violates it beats committing a permanently red gate.
+        raise SystemExit(
+            "refusing to freeze a comm_mapping baseline whose mapped run does "
+            f"not beat the derived run: mapped "
+            f"{comm_mapping['mapped_best_cost']!r} vs derived "
+            f"{comm_mapping['derived_best_cost']!r}; retune "
+            "COMM_MAPPING_WORKLOAD before regenerating"
+        )
+    print(
+        f"comm-map: two-bus Fig. 1, {comm_mapping['engine']} x "
+        f"{comm_mapping['cycles']} cycles: derived "
+        f"{comm_mapping['derived_best_cost']:g} vs mapped "
+        f"{comm_mapping['mapped_best_cost']:g} "
+        f"({comm_mapping['mapped_pins']} pins, buses "
+        f"{comm_mapping['mapped_bus_distribution']}) in "
+        f"{comm_mapping['engine_seconds']:.4f}s"
+    )
     payload = {
         "description": (
             "ScheduleMerger.merge wall-time on the LARGE_SCALE_PRESETS random "
@@ -261,8 +359,11 @@ def run(output: Path, presets, repeats: int) -> dict:
             "naive sequential re-evaluation on a revisit-heavy candidate "
             "stream. 'genetic' times one seeded NSGA-style search with "
             "architecture sizing and freezes its Pareto front as a "
-            "determinism anchor. Regenerate with scripts/run_benchmarks.py; "
-            "check with --check."
+            "determinism anchor. 'comm_mapping' explores the two-bus Fig. 1 "
+            "system with and without communication-to-bus mapping under an "
+            "identical engine/seed/cycle budget and freezes both best costs "
+            "(the mapped run must beat the derived run). Regenerate with "
+            "scripts/run_benchmarks.py; check with --check."
         ),
         "reference": DEFAULT_REFERENCE,
         "tolerance": DEFAULT_TOLERANCE,
@@ -270,6 +371,7 @@ def run(output: Path, presets, repeats: int) -> dict:
         "workloads": workloads,
         "exploration": exploration,
         "genetic": genetic,
+        "comm_mapping": comm_mapping,
     }
     output.write_text(json.dumps(payload, indent=1) + "\n")
     print(f"wrote {output}")
@@ -312,7 +414,10 @@ def check(
             f"merge time on {reference!r} regressed: {measured:.4f}s > "
             f"{committed:.4f}s * {1.0 + tolerance:.2f} * host scale {scale:.2f}"
         )
-    return _check_genetic(baseline, scale)
+    failure = _check_genetic(baseline, scale)
+    if failure:
+        return failure
+    return _check_comm_mapping(baseline, scale)
 
 
 def _check_genetic(baseline: dict, scale: float) -> str | None:
@@ -347,6 +452,54 @@ def _check_genetic(baseline: dict, scale: float) -> str | None:
         return (
             f"genetic engine time regressed: {measured['engine_seconds']:.4f}s "
             f"> {committed['engine_seconds']:.4f}s * {1.0 + tolerance:.2f} "
+            f"* host scale {scale:.2f}"
+        )
+    return None
+
+
+def _check_comm_mapping(baseline: dict, scale: float) -> str | None:
+    """Gate the communication-mapping benchmark: determinism + quality first.
+
+    The frozen best costs of both the derived and the mapped run must
+    reproduce bit-exactly (seeded pure Python), the mapped run must still
+    strictly beat the derived run on the same engine/seed/cycle budget, and
+    the wall-time must stay within tolerance, host-calibrated like the other
+    gates.
+    """
+    committed = baseline.get("comm_mapping")
+    if not committed:  # baseline predates the communication-mapping benchmark
+        return None
+    measured = _measure_comm_mapping()
+    for key in ("derived_best_cost", "mapped_best_cost"):
+        if measured[key] != committed[key]:
+            print(f"comm-map: {key} diverged from baseline -> REGRESSION")
+            return (
+                f"communication-mapping search is no longer deterministic per "
+                f"seed: {key} measured {measured[key]!r} vs committed "
+                f"{committed[key]!r}"
+            )
+    if not measured["mapped_best_cost"] < measured["derived_best_cost"]:
+        print("comm-map: mapped run no longer beats derived run -> REGRESSION")
+        return (
+            "exploring communication mapping no longer beats the derived "
+            f"assignment: mapped {measured['mapped_best_cost']!r} vs derived "
+            f"{measured['derived_best_cost']!r}"
+        )
+    tolerance = committed.get("tolerance", COMM_MAPPING_TOLERANCE)
+    limit = committed["engine_seconds"] * (1.0 + tolerance) * scale
+    verdict = "ok" if measured["engine_seconds"] <= limit else "REGRESSION"
+    print(
+        f"comm-map: derived {measured['derived_best_cost']:g} vs mapped "
+        f"{measured['mapped_best_cost']:g} reproduced; "
+        f"{measured['engine_seconds']:.4f}s vs baseline "
+        f"{committed['engine_seconds']:.4f}s (limit {limit:.4f}s at "
+        f"+{tolerance:.0%}) -> {verdict}"
+    )
+    if measured["engine_seconds"] > limit:
+        return (
+            f"communication-mapping search time regressed: "
+            f"{measured['engine_seconds']:.4f}s > "
+            f"{committed['engine_seconds']:.4f}s * {1.0 + tolerance:.2f} "
             f"* host scale {scale:.2f}"
         )
     return None

@@ -99,14 +99,19 @@ def format_pareto_front(title: str, front) -> str:
 
     ``front`` duck-types :class:`repro.exploration.ParetoFront`: an iterable
     of points with an ``objectives`` vector ``(delta_max, mean_path_delay,
-    load_imbalance, architecture_cost)`` and a ``candidate`` carrying the
-    priority function and (optionally) the sized platform.
+    load_imbalance, architecture_cost, bus_imbalance)`` and a ``candidate``
+    carrying the priority function, (optionally) the sized platform and
+    (optionally) explicit communication-to-bus pins.
     """
     rows = []
     for point in front:
-        delta_max, mean_path_delay, load_imbalance, architecture_cost = (
-            point.objectives
-        )
+        (
+            delta_max,
+            mean_path_delay,
+            load_imbalance,
+            architecture_cost,
+            bus_imbalance,
+        ) = point.objectives
         candidate = point.candidate
         if candidate.platform:
             platform = (
@@ -115,17 +120,21 @@ def format_pareto_front(title: str, front) -> str:
             )
         else:
             platform = "-"
+        pinned = len(candidate.communication_assignment)
         rows.append([
             f"{delta_max:g}",
             f"{mean_path_delay:.2f}",
             f"{load_imbalance:.3f}",
             f"{architecture_cost:g}",
+            f"{bus_imbalance:.3f}",
             candidate.priority_function,
             platform,
+            f"{pinned} pinned" if pinned else "derived",
         ])
     return format_table(
         title,
-        ["delta_max", "mean delay", "imbalance", "arch cost", "priority", "platform"],
+        ["delta_max", "mean delay", "imbalance", "arch cost", "bus imb",
+         "priority", "platform", "comm"],
         rows,
     )
 

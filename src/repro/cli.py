@@ -24,9 +24,11 @@ Five subcommands cover the main uses of the library without writing Python:
     (``--fig1``) with tabu search, simulated annealing or the NSGA-style
     genetic engine, using the schedule merger as the evaluator.
     ``--size-architecture`` adds add/remove-processor and add/remove-bus
-    moves within declared bounds; ``--pareto`` reports the non-dominated
-    front over (delta_max, mean path delay, load imbalance, architecture
-    cost) instead of only the best scalar design point.
+    moves within declared bounds; ``--map-communications`` makes
+    communication-to-bus mapping explorable (remap_comm/swap_bus moves and
+    per-message bus pins); ``--pareto`` reports the non-dominated front over
+    (delta_max, mean path delay, load imbalance, architecture cost, bus
+    imbalance) instead of only the best scalar design point.
 
 The console script ``repro-cpg`` is installed with the package; the module can
 also be run with ``python -m repro.cli``.  See ``docs/cli.md`` for the full
@@ -39,6 +41,7 @@ import argparse
 import json
 import math
 import sys
+from collections import Counter
 from typing import List, Optional, Sequence
 
 from .analysis import (
@@ -124,6 +127,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="explore the paper's Fig. 1 example instead of a random system",
     )
     explore.add_argument(
+        "--fig1-buses", type=int, default=1,
+        help="with --fig1: number of shared buses of the platform (the "
+        "paper's platform has 1; 2 makes communication mapping worthwhile)",
+    )
+    explore.add_argument(
         "--engine",
         choices=["tabu", "anneal", "genetic", "both", "all"],
         default="tabu",
@@ -152,6 +160,20 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable architecture sizing: the search may add/remove "
         "programmable processors and buses within the declared bounds",
+    )
+    explore.add_argument(
+        "--map-communications",
+        action="store_true",
+        help="explore communication-to-bus mapping: the search may pin "
+        "individual messages to buses instead of accepting the derived "
+        "assignment (adds remap_comm/swap_bus moves)",
+    )
+    explore.add_argument(
+        "--bus-policy",
+        choices=["least_index", "least_loaded"],
+        default="least_index",
+        help="derivation policy for messages without an explicit bus pin "
+        "(default: least_index, the lexicographically least connecting bus)",
     )
     explore.add_argument(
         "--min-processors", type=int, default=1,
@@ -340,11 +362,15 @@ def _front_dict(front) -> dict:
                 "processors": list(point.candidate.platform_processors),
                 "buses": list(point.candidate.platform_buses),
             }
+        if point.candidate.communication_assignment:
+            entry["communication_assignment"] = dict(
+                point.candidate.communication_assignment
+            )
         points.append(entry)
     return {"size": len(points), "points": points}
 
 
-def _explore_result_dict(result, include_front: bool = False) -> dict:
+def _explore_result_dict(result, include_front: bool = False, problem=None) -> dict:
     document = {
         "engine": result.engine,
         "initial": {
@@ -362,6 +388,7 @@ def _explore_result_dict(result, include_front: bool = False) -> dict:
             "mean_path_delay": result.best.mean_path_delay,
             "load_imbalance": result.best.load_imbalance,
             "architecture_cost": result.best.architecture_cost,
+            "bus_imbalance": result.best.bus_imbalance,
             "priority_function": result.best_candidate.priority_function,
             "assignment": dict(result.best_candidate.assignment),
         },
@@ -385,6 +412,17 @@ def _explore_result_dict(result, include_front: bool = False) -> dict:
             for point in result.trajectory
         ],
     }
+    if problem is not None and problem.map_communications:
+        best = document["best"]
+        best["communication_pins"] = dict(
+            result.best_candidate.communication_assignment
+        )
+        if result.best.feasible:
+            # The realised mapping: the bus every message actually rides
+            # (explicit pins plus policy-derived picks).
+            best["communication_mapping"] = problem.communications_for(
+                result.best_candidate
+            )
     if include_front and result.front is not None:
         document["front"] = _front_dict(result.front)
     return document
@@ -413,25 +451,39 @@ def _command_explore(arguments) -> int:
             min_buses=arguments.min_buses,
         )
     if arguments.fig1:
-        example = load_fig1_example()
+        example = load_fig1_example(num_buses=arguments.fig1_buses)
         problem = ExplorationProblem(
             example.process_graph,
             example.mapping,
             example.architecture,
             name="fig1",
             bounds=bounds,
+            map_communications=arguments.map_communications,
+            bus_policy=arguments.bus_policy,
         )
         origin = "the paper's Fig. 1 example"
+        if arguments.fig1_buses != 1:
+            origin += f" ({arguments.fig1_buses} buses)"
     elif arguments.system is not None:
         system = load_system(arguments.system)
         system.graph.validate()
-        problem = ExplorationProblem.from_system(system, bounds=bounds)
+        problem = ExplorationProblem.from_system(
+            system,
+            bounds=bounds,
+            map_communications=arguments.map_communications,
+            bus_policy=arguments.bus_policy,
+        )
         origin = arguments.system
     else:
         generated = generate_system(
             arguments.nodes, arguments.paths, seed=arguments.seed
         )
-        problem = ExplorationProblem.from_system(generated, bounds=bounds)
+        problem = ExplorationProblem.from_system(
+            generated,
+            bounds=bounds,
+            map_communications=arguments.map_communications,
+            bus_policy=arguments.bus_policy,
+        )
         origin = (
             f"random system ({arguments.nodes} nodes, {arguments.paths} paths, "
             f"seed {arguments.seed})"
@@ -462,7 +514,11 @@ def _command_explore(arguments) -> int:
                 "problem": origin,
                 "seed": arguments.seed,
                 "results": [
-                    _explore_result_dict(result, include_front=arguments.pareto)
+                    _explore_result_dict(
+                        result,
+                        include_front=arguments.pareto,
+                        problem=problem,
+                    )
                     for result in results
                 ],
                 "best_engine": best.engine,
@@ -496,6 +552,16 @@ def _command_explore(arguments) -> int:
         print(f"         cycles {result.cycles}, evaluations {result.evaluations}, "
               f"cache hits {result.cache.hits} "
               f"({100.0 * result.cache.hit_rate:.0f}%), stop: {result.stop_reason}")
+        if arguments.map_communications and result.best.feasible:
+            realised = problem.communications_for(result.best_candidate)
+            per_bus = Counter(realised.values())
+            distribution = ", ".join(
+                f"{bus_name}: {count}" for bus_name, count in sorted(per_bus.items())
+            ) or "no messages cross processors"
+            pinned = len(result.best_candidate.communication_assignment)
+            print(f"         communication mapping: {distribution} "
+                  f"({pinned} pinned, bus imbalance "
+                  f"{result.best.bus_imbalance:.3f})")
         if arguments.trajectory and result.trajectory:
             print(format_trajectory(
                 f"  trajectory ({result.engine})", result.trajectory

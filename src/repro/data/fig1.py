@@ -96,11 +96,21 @@ class Fig1Example:
         return self.expanded.mapping
 
 
-def build_architecture() -> Architecture:
-    """Two programmable processors, one ASIC and a single shared bus."""
+def build_architecture(num_buses: int = 1) -> Architecture:
+    """Two programmable processors, one ASIC and ``num_buses`` shared buses.
+
+    The paper's Fig. 1 platform has a single bus (``pe4``).  Larger values
+    add further fully-connected buses (``pe5``, ``pe6``, ...), producing the
+    "Fig. 1-style" multi-bus systems the communication-mapping explorer is
+    demonstrated on: with more than one bus the default least-index policy
+    still routes every message over ``pe4``, so bus assignment becomes a
+    design dimension worth exploring.
+    """
+    if num_buses < 1:
+        raise ValueError("the Fig. 1 platform needs at least one bus")
     return Architecture(
         processors=[programmable("pe1"), programmable("pe2"), hardware("pe3")],
-        buses=[bus("pe4")],
+        buses=[bus(f"pe{index + 4}") for index in range(num_buses)],
         condition_broadcast_time=CONDITION_BROADCAST_TIME,
     )
 
@@ -153,9 +163,13 @@ def build_mapping(
     return mapping
 
 
-def load_fig1_example() -> Fig1Example:
-    """Build the complete Fig. 1 system ready for scheduling."""
-    architecture = build_architecture()
+def load_fig1_example(num_buses: int = 1) -> Fig1Example:
+    """Build the complete Fig. 1 system ready for scheduling.
+
+    ``num_buses`` > 1 yields the same graph and process mapping on a
+    multi-bus variant of the platform (see :func:`build_architecture`).
+    """
+    architecture = build_architecture(num_buses)
     process_graph = build_process_graph()
     mapping = build_mapping(architecture, process_graph)
     expanded = expand_communications(process_graph, mapping, architecture)

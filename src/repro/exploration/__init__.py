@@ -8,16 +8,20 @@ repository's schedule merger as the evaluator:
 
 * :class:`Candidate` / :class:`CostWeights` — design points and their scoring
   (worst-case delay, mean path delay, processor load balance, architecture
-  cost), behind a content-hash evaluation cache (:class:`CachedEvaluator`) so
-  revisited mappings never re-run the merger;
+  cost, bus contention), behind a content-hash evaluation cache
+  (:class:`CachedEvaluator`) so revisited mappings never re-run the merger;
 * :class:`NeighborhoodSampler` — remap / swap / priority-switch / priority-
-  bias moves, plus add/remove-processor and add/remove-bus sizing moves when
-  the problem declares bounds;
+  bias moves, plus remap_comm / swap_bus communication-mapping moves when the
+  problem enables ``map_communications`` (candidates then pin individual
+  messages to buses instead of accepting the derived pick) and
+  add/remove-processor and add/remove-bus sizing moves when the problem
+  declares bounds;
 * :class:`TabuSearchEngine`, :class:`SimulatedAnnealingEngine` and the
   NSGA-style :class:`GeneticEngine` — seeded, cycle-bounded engines behind
   the :class:`Explorer` facade with pluggable stopping criteria;
 * :class:`ParetoFront` — non-dominated fronts over the vector cost
-  ``(delta_max, mean_path_delay, load_imbalance, architecture_cost)``;
+  ``(delta_max, mean_path_delay, load_imbalance, architecture_cost,
+  bus_imbalance)``;
 * :class:`EvaluationPool` — batched neighbour/generation scoring on
   ``concurrent.futures`` worker processes.
 
@@ -47,6 +51,7 @@ from .cost import (
     CandidateEvaluation,
     CostWeights,
     architecture_cost_of,
+    bus_imbalance_of,
     evaluate_candidate,
     load_imbalance_of,
 )
@@ -106,6 +111,7 @@ __all__ = [
     "TargetCost",
     "TrajectoryPoint",
     "architecture_cost_of",
+    "bus_imbalance_of",
     "crowding_distances",
     "default_worker_count",
     "dominates",

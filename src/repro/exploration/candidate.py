@@ -3,10 +3,12 @@
 A :class:`Candidate` is one point the explorer can evaluate: an assignment of
 every ordinary process to a processor, the priority configuration the
 per-path list scheduler should use (one of the registered priority functions,
-optionally perturbed per process) and — when architecture sizing is enabled —
-the *platform*: which programmable processors and buses are instantiated.
-Candidates are immutable value objects — neighbourhood moves derive new
-candidates instead of mutating — and carry a stable content hash
+optionally perturbed per process), an optional explicit *communication
+assignment* pinning individual messages to buses (message id -> bus; unpinned
+messages keep the problem's derivation policy) and — when architecture sizing
+is enabled — the *platform*: which programmable processors and buses are
+instantiated.  Candidates are immutable value objects — neighbourhood moves
+derive new candidates instead of mutating — and carry a stable content hash
 (:attr:`Candidate.fingerprint`) that keys the evaluation cache: two candidates
 describing the same design point always collide, so a revisited
 mapping/platform never re-runs the schedule merger.
@@ -46,12 +48,20 @@ class Candidate:
         buses; hardware processors are never sizable and stay implicit.  The
         empty tuple (the default) means architecture sizing is disabled and
         the problem's base architecture is used unchanged.
+    communication_assignment:
+        Sorted ``(message id, bus name)`` pairs pinning individual messages
+        (see :func:`repro.graph.message_id`) to buses.  Messages without an
+        entry keep the problem's derivation policy; entries for messages whose
+        endpoints are currently co-located stay dormant, so the pin survives
+        remapping of the endpoint processes.  The empty tuple (the default)
+        derives every bus, reproducing the pre-mapping behaviour exactly.
     """
 
     assignment: Tuple[Tuple[str, str], ...]
     priority_function: str = DEFAULT_PRIORITY_FUNCTION
     priority_bias: Tuple[Tuple[str, float], ...] = field(default=())
     platform: Tuple[Tuple[str, str], ...] = field(default=())
+    communication_assignment: Tuple[Tuple[str, str], ...] = field(default=())
 
     # -- constructors --------------------------------------------------------
 
@@ -92,6 +102,11 @@ class Candidate:
         return dict(self.priority_bias)
 
     @cached_property
+    def communication_dict(self) -> Dict[str, str]:
+        """The explicit communication mapping as a message id -> bus name dict."""
+        return dict(self.communication_assignment)
+
+    @cached_property
     def platform_processors(self) -> Tuple[str, ...]:
         """Names of the programmable processors this platform instantiates."""
         return tuple(name for name, kind in self.platform if kind != "bus")
@@ -112,6 +127,8 @@ class Candidate:
             digest.update(f"|{name}+{bias!r}".encode())
         for name, kind in self.platform:
             digest.update(f"|@{name}:{kind}".encode())
+        for message, bus_name in self.communication_assignment:
+            digest.update(f"|~{message}:{bus_name}".encode())
         return digest.hexdigest()[:20]
 
     def pe_of(self, process_name: str) -> str:
@@ -147,6 +164,24 @@ class Candidate:
             bias[process_name] = updated
         return replace(self, priority_bias=tuple(sorted(bias.items())))
 
+    def with_communication(self, message: str, bus_name: str) -> "Candidate":
+        """Return a copy with one message pinned to the given bus."""
+        updated = dict(self.communication_assignment)
+        updated[message] = bus_name
+        return replace(
+            self, communication_assignment=tuple(sorted(updated.items()))
+        )
+
+    def without_communication(self, message: str) -> "Candidate":
+        """Return a copy with one message's pin removed (derivation resumes)."""
+        updated = dict(self.communication_assignment)
+        if message not in updated:
+            raise KeyError(f"message {message!r} carries no explicit bus pin")
+        del updated[message]
+        return replace(
+            self, communication_assignment=tuple(sorted(updated.items()))
+        )
+
     def with_element(self, name: str, kind: str) -> "Candidate":
         """Return a copy with one sizable element (processor or bus) added."""
         if any(existing == name for existing, _ in self.platform):
@@ -181,6 +216,14 @@ class Candidate:
         if self.priority_bias != other.priority_bias:
             changed_bias = set(self.priority_bias) ^ set(other.priority_bias)
             changes.append(f"bias({len(changed_bias)} terms)")
+        if self.communication_assignment != other.communication_assignment:
+            theirs = other.communication_dict
+            for message, bus_name in self.communication_assignment:
+                if theirs.get(message) != bus_name:
+                    changes.append(f"{message}~{bus_name}")
+            for message in theirs:
+                if message not in self.communication_dict:
+                    changes.append(f"{message}~derived")
         if self.platform != other.platform:
             mine, theirs = set(self.platform), set(other.platform)
             for name, _ in sorted(mine - theirs):

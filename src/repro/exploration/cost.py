@@ -17,6 +17,11 @@ objective vector the multi-objective machinery consumes:
   units: ``processor_cost`` per programmable processor plus ``bus_cost`` per
   bus (hardware processors are fixed and excluded).  Constant unless
   architecture sizing is enabled.
+* ``bus_imbalance`` — the same ratio over the *buses*: how far the most
+  loaded bus sits above the mean bus communication load.  This is the
+  contention objective of communication mapping — a design point that dumps
+  every message on one bus of a multi-bus platform scores 1.0 (or worse),
+  one that spreads them evenly scores 0.
 
 Evaluations are plain frozen dataclasses of floats and strings so they travel
 unchanged through the parallel evaluation pool and the content-hash cache.
@@ -27,9 +32,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from ..architecture.architecture import ArchitectureError
+from ..architecture.architecture import Architecture, ArchitectureError
 from ..architecture.mapping import MappingError
-from ..graph.communication import expand_communications
+from ..graph.communication import ExpandedGraph, expand_communications
 from ..scheduling.list_scheduler import PathListScheduler, SchedulingError
 from ..scheduling.merging import MergeConflictError, ScheduleMerger
 from ..scheduling.priorities import priority_function
@@ -49,7 +54,9 @@ class CostWeights:
     ``architecture_cost`` weights the platform cost into the scalar;
     ``processor_cost`` and ``bus_cost`` are the per-element units that make up
     that platform cost (they also feed the fourth objective-vector component,
-    whatever the scalar weight is).
+    whatever the scalar weight is).  ``bus_imbalance`` weights bus contention
+    — like ``load_imbalance`` it is a ratio, interpreted in the same time
+    unit as the delays.
     """
 
     delta_max: float = 1.0
@@ -58,6 +65,7 @@ class CostWeights:
     architecture_cost: float = 0.0
     processor_cost: float = 1.0
     bus_cost: float = 0.5
+    bus_imbalance: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,7 @@ class CandidateEvaluation:
     mean_path_delay: float = 0.0
     load_imbalance: float = 0.0
     architecture_cost: float = 0.0
+    bus_imbalance: float = 0.0
     paths: int = 0
     error: str = ""
 
@@ -83,13 +92,14 @@ class CandidateEvaluation:
         return 100.0 * (self.delta_max - self.delta_m) / self.delta_m
 
     @property
-    def objectives(self) -> Tuple[float, float, float, float]:
+    def objectives(self) -> Tuple[float, float, float, float, float]:
         """The minimised objective vector (see ``pareto.OBJECTIVE_NAMES``)."""
         return (
             self.delta_max,
             self.mean_path_delay,
             self.load_imbalance,
             self.architecture_cost,
+            self.bus_imbalance,
         )
 
 
@@ -97,8 +107,9 @@ def load_imbalance_of(problem: ExplorationProblem, candidate: Candidate) -> floa
     """``max processor load / mean processor load - 1`` under a candidate.
 
     Loads sum the execution time of every ordinary process on its assigned
-    processor (communications are excluded: their bus placement is derived
-    during expansion, not explored).  With architecture sizing, the mean runs
+    processor (communications are excluded here: their bus placement is
+    priced separately by :func:`bus_imbalance_of`).  With architecture
+    sizing, the mean runs
     over the candidate's *active* processors, so emptier, smaller platforms
     are not penalised for processors they no longer instantiate.
     """
@@ -110,6 +121,26 @@ def load_imbalance_of(problem: ExplorationProblem, candidate: Candidate) -> floa
     for name, pe_name in candidate.assignment:
         loads[pe_name] += graph[name].duration_on(architecture[pe_name])
     mean = sum(loads.values()) / len(loads) if loads else 0.0
+    if mean <= 0:
+        return 0.0
+    return max(loads.values()) / mean - 1.0
+
+
+def bus_imbalance_of(architecture: Architecture, expanded: ExpandedGraph) -> float:
+    """``max bus load / mean bus load - 1`` over an expanded graph.
+
+    Loads sum the duration of every communication process on its assigned bus
+    (scaled by bus speed, like the scheduler sees it); the mean runs over
+    *every* bus of the architecture, so leaving a bus idle on a multi-bus
+    platform registers as contention.  Zero when the architecture has fewer
+    than two buses or nothing communicates.
+    """
+    if len(architecture.buses) < 2:
+        return 0.0
+    loads: Dict[str, float] = {pe.name: 0.0 for pe in architecture.buses}
+    for info in expanded.communications.values():
+        loads[info.bus.name] += expanded.graph[info.name].duration_on(info.bus)
+    mean = sum(loads.values()) / len(loads)
     if mean <= 0:
         return 0.0
     return max(loads.values()) / mean - 1.0
@@ -148,7 +179,13 @@ def evaluate_candidate(
     try:
         architecture = problem.architecture_for(candidate)
         mapping = problem.mapping_for(candidate)
-        expanded = expand_communications(problem.graph, mapping, architecture)
+        expanded = expand_communications(
+            problem.graph,
+            mapping,
+            architecture,
+            bus_assignment=problem.bus_assignment_for(candidate),
+            bus_policy=problem.bus_policy,
+        )
         scheduler = PathListScheduler(
             expanded.graph,
             expanded.mapping,
@@ -174,11 +211,13 @@ def evaluate_candidate(
     mean_path_delay = sum(path_delays) / len(path_delays)
     imbalance = load_imbalance_of(problem, candidate)
     platform_cost = architecture_cost_of(problem, candidate, weights)
+    contention = bus_imbalance_of(architecture, expanded)
     cost = (
         weights.delta_max * result.delta_max
         + weights.mean_path_delay * mean_path_delay
         + weights.load_imbalance * imbalance
         + weights.architecture_cost * platform_cost
+        + weights.bus_imbalance * contention
     )
     return CandidateEvaluation(
         fingerprint=candidate.fingerprint,
@@ -189,5 +228,6 @@ def evaluate_candidate(
         mean_path_delay=mean_path_delay,
         load_imbalance=imbalance,
         architecture_cost=platform_cost,
+        bus_imbalance=contention,
         paths=len(result.paths),
     )

@@ -90,6 +90,11 @@ class GeneticEngine(_EngineBase):
         Each process takes its processor from either parent, falling back to
         the donor's choice when the other parent's processor is not active on
         the donor's platform (only possible with architecture sizing).
+        Communication pins cross over the same way, message by message —
+        "unpinned" (derived) is a legitimate allele, inherited like any pin.
+        Only a pin naming a bus the donor's platform does not instantiate
+        falls back to the donor's pin for that message, or is dropped (stale
+        pins are additionally filtered at evaluation time).
         """
         donor, other = (first, second) if rng.random() < 0.5 else (second, first)
         problem = self._evaluator.problem
@@ -107,11 +112,28 @@ class GeneticEngine(_EngineBase):
             else other.priority_function
         )
         bias = donor.priority_bias if rng.random() < 0.5 else other.priority_bias
+        donor_pins = donor.communication_dict
+        other_pins = other.communication_dict
+        allowed_buses = (
+            set(donor.platform_buses) if donor.platform else None
+        )
+        pins: List[Tuple[str, str]] = []
+        for message in sorted(set(donor_pins) | set(other_pins)):
+            side = donor_pins if rng.random() < 0.5 else other_pins
+            bus_name = side.get(message)
+            if bus_name is None:
+                continue  # the chosen parent leaves this message derived
+            if allowed_buses is not None and bus_name not in allowed_buses:
+                bus_name = donor_pins.get(message)
+                if bus_name is None or bus_name not in allowed_buses:
+                    continue
+            pins.append((message, bus_name))
         return Candidate(
             assignment=tuple(sorted(pairs)),
             priority_function=priority,
             priority_bias=bias,
             platform=donor.platform,
+            communication_assignment=tuple(pins),
         )
 
     # -- NSGA ranking ---------------------------------------------------------

@@ -10,6 +10,16 @@ Four move kinds span the space every problem exposes:
   additive step (ties the explorer into the scheduler's secondary degrees of
   freedom, not only the mapping).
 
+When the problem enables communication mapping
+(``ExplorationProblem(map_communications=True)``), two *communication* kinds
+join, so the search can route messages instead of accepting the derived
+first-bus pick:
+
+* ``remap_comm`` — pin one active message to a different bus connecting its
+  endpoints;
+* ``swap_bus``   — exchange the buses of two active messages (each target
+  bus must connect the other message's endpoints).
+
 When the problem declares :class:`~repro.exploration.ArchitectureBounds`,
 four *architecture-sizing* kinds join the neighbourhood, so the search can
 resize the platform instead of only remapping onto it:
@@ -17,9 +27,12 @@ resize the platform instead of only remapping onto it:
 * ``add_pe`` / ``remove_pe`` — instantiate one more programmable processor
   (from the problem's deterministic spare-name pool) or retire an *empty*
   one, staying within the declared processor bounds;
-* ``add_bus`` / ``remove_bus`` — likewise for buses.  Bus removal may make
-  candidates infeasible (a communication can lose its last connecting bus);
-  the evaluator scores those as infinite cost rather than raising.
+* ``add_bus`` / ``remove_bus`` — likewise for buses.  Bus removal is
+  *sizing-aware*: a bus whose removal would strand a communication (no other
+  bus connects the endpoints) is never offered, and explicit bus pins on the
+  removed bus are rerouted onto the least remaining connecting bus as part
+  of the move, so removal produces reroutable candidates instead of
+  trivially infeasible ones.
 
 Moves are small frozen descriptions (kind + operands) applied functionally:
 ``move.apply(candidate)`` derives the neighbour without mutating the origin.
@@ -57,6 +70,14 @@ _MOVE_WEIGHTS: Tuple[Tuple[str, float], ...] = (
 #: neighbourhood (and per-seed trajectories) they had before sizing existed.
 _SIZING_WEIGHT: float = 0.25
 
+#: Extra draw weight of the communication-mapping kinds, appended only when
+#: the problem enables ``map_communications`` — problems that derive their
+#: bus assignment keep the exact pre-mapping neighbourhood.
+_COMM_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("remap_comm", 0.2),
+    ("swap_bus", 0.1),
+)
+
 
 @dataclass(frozen=True)
 class Move:
@@ -79,15 +100,32 @@ class Move:
         if self.kind == "bias":
             process, delta = self.operands
             return candidate.with_bias(process, delta)
+        if self.kind == "remap_comm":
+            message, bus_name = self.operands
+            return candidate.with_communication(message, bus_name)
+        if self.kind == "swap_bus":
+            (first_message, first_bus), (second_message, second_bus) = self.operands
+            return candidate.with_communication(
+                first_message, first_bus
+            ).with_communication(second_message, second_bus)
         if self.kind == "add_pe":
             (name,) = self.operands
             return candidate.with_element(name, "programmable")
         if self.kind == "add_bus":
             (name,) = self.operands
             return candidate.with_element(name, "bus")
-        if self.kind in ("remove_pe", "remove_bus"):
+        if self.kind == "remove_pe":
             (name,) = self.operands
             return candidate.without_element(name)
+        if self.kind == "remove_bus":
+            name = self.operands[0]
+            # Sizing-aware form: reroutes pin stranded messages onto a
+            # remaining connecting bus.  The bare (name,) form stays valid.
+            reroutes = self.operands[1] if len(self.operands) > 1 else ()
+            shrunk = candidate.without_element(name)
+            for message, bus_name in reroutes:
+                shrunk = shrunk.with_communication(message, bus_name)
+            return shrunk
         raise ValueError(f"unknown move kind {self.kind!r}")
 
     def describe(self) -> str:
@@ -103,10 +141,20 @@ class Move:
         if self.kind == "bias":
             process, delta = self.operands
             return f"bias {process} {delta:+g}"
+        if self.kind == "remap_comm":
+            message, bus_name = self.operands
+            return f"comm {message} -> {bus_name}"
+        if self.kind == "swap_bus":
+            (first_message, _), (second_message, _) = self.operands
+            return f"swap bus {first_message} <-> {second_message}"
         if self.kind in ("add_pe", "add_bus"):
             return f"add {self.operands[0]}"
-        if self.kind in ("remove_pe", "remove_bus"):
+        if self.kind == "remove_pe":
             return f"remove {self.operands[0]}"
+        if self.kind == "remove_bus":
+            reroutes = self.operands[1] if len(self.operands) > 1 else ()
+            suffix = f" (+{len(reroutes)} reroutes)" if reroutes else ""
+            return f"remove {self.operands[0]}{suffix}"
         return self.kind
 
     def __str__(self) -> str:
@@ -128,10 +176,67 @@ class NeighborhoodSampler:
         self._priority_choices = tuple(priority_choices)
         self._bias_steps = tuple(bias_steps)
         weights = list(_MOVE_WEIGHTS)
+        if problem.map_communications:
+            weights.extend(_COMM_WEIGHTS)
         if problem.bounds is not None:
             weights.append(("size", _SIZING_WEIGHT))
         self._kinds = [kind for kind, _ in weights]
         self._weights = [weight for _, weight in weights]
+
+    # -- communication sub-moves ----------------------------------------------
+
+    def _effective_bus(
+        self, candidate: Candidate, message: str, connecting: Sequence[str]
+    ) -> str:
+        """The bus a message currently rides: its pin, or the derived default.
+
+        The ``least_loaded`` policy depends on expansion order, so the
+        least-index bus is used as the stand-in default either way — the
+        point is only to avoid proposing a no-op pin.
+        """
+        pinned = candidate.communication_dict.get(message)
+        if pinned is not None and pinned in connecting:
+            return pinned
+        return connecting[0]
+
+    def _draw_remap_comm(
+        self, candidate: Candidate, rng: random.Random
+    ) -> Optional[Move]:
+        active = self._problem.active_messages(candidate)
+        if not active:
+            return None
+        message, src, dst = rng.choice(active)
+        connecting = self._problem.connecting_buses(candidate, src, dst)
+        if len(connecting) < 2:
+            return None  # unconnectable or forced: nothing to remap
+        current = self._effective_bus(candidate, message, connecting)
+        targets = [bus_name for bus_name in connecting if bus_name != current]
+        return Move("remap_comm", (message, rng.choice(targets)))
+
+    def _draw_swap_bus(
+        self, candidate: Candidate, rng: random.Random
+    ) -> Optional[Move]:
+        active = self._problem.active_messages(candidate)
+        if len(active) < 2:
+            return None
+        (first, first_src, first_dst), (second, second_src, second_dst) = (
+            rng.sample(active, 2)
+        )
+        first_buses = self._problem.connecting_buses(candidate, first_src, first_dst)
+        second_buses = self._problem.connecting_buses(
+            candidate, second_src, second_dst
+        )
+        if not first_buses or not second_buses:
+            return None  # an unconnectable (infeasible) message: nothing to swap
+        first_bus = self._effective_bus(candidate, first, first_buses)
+        second_bus = self._effective_bus(candidate, second, second_buses)
+        if first_bus == second_bus:
+            return None
+        if second_bus not in first_buses or first_bus not in second_buses:
+            return None  # a swapped bus would not connect the other endpoints
+        return Move(
+            "swap_bus", ((first, second_bus), (second, first_bus))
+        )
 
     # -- sizing sub-moves ----------------------------------------------------
 
@@ -160,10 +265,33 @@ class NeighborhoodSampler:
                     moves.append(Move("add_bus", (name,)))
                     break
         if len(active_buses) > bounds.min_buses:
-            moves.extend(
-                Move("remove_bus", (name,)) for name in sorted(active_buses)
-            )
+            for name in sorted(active_buses):
+                move = self._remove_bus_move(candidate, name)
+                if move is not None:
+                    moves.append(move)
         return moves
+
+    def _remove_bus_move(
+        self, candidate: Candidate, bus_name: str
+    ) -> Optional[Move]:
+        """A sizing-aware ``remove_bus``, or None when removal would strand.
+
+        Every active message must keep at least one connecting bus after the
+        removal; explicit pins on the removed bus are rerouted onto the least
+        remaining connecting bus as part of the move.
+        """
+        pins = candidate.communication_dict
+        reroutes: List[Tuple[str, str]] = []
+        for message, src, dst in self._problem.active_messages(candidate):
+            connecting = self._problem.connecting_buses(candidate, src, dst)
+            remaining = [name for name in connecting if name != bus_name]
+            if connecting and not remaining:
+                return None  # this bus is the message's last connection
+            if pins.get(message) == bus_name and remaining:
+                reroutes.append((message, remaining[0]))
+        if reroutes:
+            return Move("remove_bus", (bus_name, tuple(reroutes)))
+        return Move("remove_bus", (bus_name,))
 
     def _draw(self, candidate: Candidate, rng: random.Random) -> Optional[Move]:
         kind = rng.choices(self._kinds, weights=self._weights, k=1)[0]
@@ -188,6 +316,10 @@ class NeighborhoodSampler:
         if kind == "bias":
             process = rng.choice(processes)
             return Move("bias", (process, rng.choice(self._bias_steps)))
+        if kind == "remap_comm":
+            return self._draw_remap_comm(candidate, rng)
+        if kind == "swap_bus":
+            return self._draw_swap_bus(candidate, rng)
         if kind == "size":
             legal = self._sizing_moves(candidate)
             if legal:

@@ -9,8 +9,8 @@ genetic engine and the ``--pareto`` reporting path:
 * :func:`dominates` / :func:`non_dominated_sort` / :func:`crowding_distances`
   — the NSGA-II primitives over objective vectors (all objectives minimised);
 * :class:`ParetoFront` — an incrementally maintained set of mutually
-  non-dominated design points keyed on the vector
-  ``(delta_max, mean_path_delay, load_imbalance, architecture_cost)``
+  non-dominated design points keyed on the vector ``(delta_max,
+  mean_path_delay, load_imbalance, architecture_cost, bus_imbalance)``
   (see :attr:`repro.exploration.CandidateEvaluation.objectives`).
 
 A front only ever accepts feasible evaluations, drops every point a newcomer
@@ -34,6 +34,7 @@ OBJECTIVE_NAMES: Tuple[str, ...] = (
     "mean_path_delay",
     "load_imbalance",
     "architecture_cost",
+    "bus_imbalance",
 )
 
 Vector = Tuple[float, ...]

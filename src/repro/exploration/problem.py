@@ -31,6 +31,11 @@ from ..architecture.architecture import Architecture
 from ..architecture.mapping import Mapping
 from ..architecture.processing_element import bus as make_bus
 from ..architecture.processing_element import programmable
+from ..graph.communication import (
+    BUS_POLICIES,
+    expand_communications,
+    message_id,
+)
 from ..graph.cpg import ConditionalProcessGraph
 from ..io.serialization import system_from_dict, system_to_dict
 from .candidate import DEFAULT_PRIORITY_FUNCTION, Candidate
@@ -124,6 +129,16 @@ class ExplorationProblem:
         Optional :class:`ArchitectureBounds`.  When given, architecture sizing
         is enabled: candidates carry an explicit platform and the search may
         add or remove programmable processors and buses within the bounds.
+    map_communications:
+        When True, communication-to-bus mapping becomes an explored dimension:
+        the neighbourhood gains ``remap_comm`` / ``swap_bus`` moves and
+        candidates may pin individual messages to buses.  Off by default so
+        fixed problems keep their exact pre-mapping neighbourhood (and
+        per-seed trajectories).
+    bus_policy:
+        Derivation policy for messages without an explicit pin (see
+        :func:`repro.graph.expand_communications`): ``"least_index"``
+        (default) or ``"least_loaded"``.
     """
 
     def __init__(
@@ -133,14 +148,35 @@ class ExplorationProblem:
         architecture: Optional[Architecture] = None,
         name: Optional[str] = None,
         bounds: Optional[ArchitectureBounds] = None,
+        map_communications: bool = False,
+        bus_policy: str = "least_index",
     ) -> None:
+        if bus_policy not in BUS_POLICIES:
+            raise ValueError(
+                f"unknown bus policy {bus_policy!r}; choose from {BUS_POLICIES}"
+            )
         self._graph = graph
         self._architecture = architecture or mapping.architecture
         self._base_mapping = mapping
         self.name = name or graph.name
+        self._map_communications = bool(map_communications)
+        self._bus_policy = bus_policy
         self._movable: Tuple[str, ...] = tuple(
             process.name for process in graph.ordinary_processes
         )
+        movable_set = set(self._movable)
+        # The message universe: every process-level edge both of whose
+        # endpoints the explorer maps.  Whether a message is *active* (its
+        # endpoints sit on different processors, so a communication process
+        # exists) depends on the candidate, but the id set is stable.
+        self._messages: Tuple[Tuple[str, str, str], ...] = tuple(
+            (message_id(edge.src, edge.dst), edge.src, edge.dst)
+            for edge in graph.edges
+            if edge.src in movable_set and edge.dst in movable_set
+        )
+        self._message_endpoints: Dict[str, Tuple[str, str]] = {
+            message: (src, dst) for message, src, dst in self._messages
+        }
         self._processors: Tuple[str, ...] = tuple(
             pe.name for pe in self._architecture.processors
         )
@@ -167,22 +203,27 @@ class ExplorationProblem:
         system: Any,
         name: Optional[str] = None,
         bounds: Optional[ArchitectureBounds] = None,
+        map_communications: bool = False,
+        bus_policy: str = "least_index",
     ) -> "ExplorationProblem":
         """Build a problem from a generated or deserialised system.
 
         Accepts a :class:`repro.generator.GeneratedSystem` (uses its
         process-level graph) or a :class:`repro.io.SystemDescription`.
         """
-        if hasattr(system, "process_graph"):  # GeneratedSystem
-            return cls(
-                system.process_graph,
-                system.mapping,
-                system.architecture,
-                name=name,
-                bounds=bounds,
-            )
+        graph = (
+            system.process_graph
+            if hasattr(system, "process_graph")  # GeneratedSystem
+            else system.graph
+        )
         return cls(
-            system.graph, system.mapping, system.architecture, name=name, bounds=bounds
+            graph,
+            system.mapping,
+            system.architecture,
+            name=name,
+            bounds=bounds,
+            map_communications=map_communications,
+            bus_policy=bus_policy,
         )
 
     # -- accessors -----------------------------------------------------------
@@ -213,6 +254,21 @@ class ExplorationProblem:
     def bounds(self) -> Optional[ArchitectureBounds]:
         """The resolved sizing bounds, or None when sizing is disabled."""
         return self._bounds
+
+    @property
+    def map_communications(self) -> bool:
+        """Whether communication-to-bus mapping is an explored dimension."""
+        return self._map_communications
+
+    @property
+    def bus_policy(self) -> str:
+        """Derivation policy for messages without an explicit bus pin."""
+        return self._bus_policy
+
+    @property
+    def messages(self) -> Tuple[Tuple[str, str, str], ...]:
+        """The message universe: ``(message id, src, dst)`` per mapped edge."""
+        return self._messages
 
     @property
     def spare_processor_names(self) -> Tuple[str, ...]:
@@ -311,6 +367,90 @@ class ExplorationProblem:
         mapping.validate_for(self._movable)
         return mapping
 
+    # -- communication mapping ------------------------------------------------
+
+    def active_messages(
+        self, candidate: Candidate
+    ) -> Tuple[Tuple[str, str, str], ...]:
+        """The messages that cross processors under a candidate's assignment."""
+        assignment = candidate.assignment_dict
+        return tuple(
+            (message, src, dst)
+            for message, src, dst in self._messages
+            if assignment.get(src) is not None
+            and assignment.get(dst) is not None
+            and assignment[src] != assignment[dst]
+        )
+
+    def connecting_buses(
+        self, candidate: Candidate, src: str, dst: str
+    ) -> Tuple[str, ...]:
+        """Names of the buses connecting two processes' processors (sorted)."""
+        architecture = self.architecture_for(candidate)
+        assignment = candidate.assignment_dict
+        return tuple(
+            pe.name
+            for pe in architecture.buses_between(
+                architecture[assignment[src]], architecture[assignment[dst]]
+            )
+        )
+
+    def bus_assignment_for(
+        self, candidate: Candidate
+    ) -> Optional[Dict[str, str]]:
+        """A candidate's explicit bus pins, filtered to the currently valid ones.
+
+        Pins for dormant messages (endpoints co-located), for unknown message
+        ids, or whose bus does not exist on — or does not connect the
+        endpoints in — the candidate's (possibly sized) architecture are
+        dropped: those messages fall back to the derivation policy instead of
+        making the whole candidate infeasible.  The graph layer still
+        validates strictly; this filter is what lets remapping moves and bus
+        removal coexist with accumulated pins.
+        """
+        if not candidate.communication_assignment:
+            return None
+        architecture = self.architecture_for(candidate)
+        assignment = candidate.assignment_dict
+        valid: Dict[str, str] = {}
+        for message, bus_name in candidate.communication_assignment:
+            endpoints = self._message_endpoints.get(message)
+            if endpoints is None:
+                continue
+            src, dst = endpoints
+            src_pe = assignment.get(src)
+            dst_pe = assignment.get(dst)
+            if src_pe is None or dst_pe is None or src_pe == dst_pe:
+                continue
+            if architecture.get(bus_name) is None:
+                continue
+            connecting = {
+                pe.name
+                for pe in architecture.buses_between(
+                    architecture[src_pe], architecture[dst_pe]
+                )
+            }
+            if bus_name in connecting:
+                valid[message] = bus_name
+        return valid or None
+
+    def communications_for(self, candidate: Candidate) -> Dict[str, str]:
+        """The realised communication mapping of a candidate: message -> bus.
+
+        Runs communication expansion exactly the way the evaluator does
+        (explicit pins first, derivation policy for the rest), so the result
+        is what the schedule was actually generated against.  Raises
+        :class:`~repro.architecture.MappingError` for infeasible candidates.
+        """
+        expanded = expand_communications(
+            self._graph,
+            self.mapping_for(candidate),
+            self.architecture_for(candidate),
+            bus_assignment=self.bus_assignment_for(candidate),
+            bus_policy=self._bus_policy,
+        )
+        return expanded.bus_assignment
+
     # -- worker transport ----------------------------------------------------
 
     def to_payload(self) -> Dict[str, Any]:
@@ -320,6 +460,11 @@ class ExplorationProblem:
         )
         if self._bounds is not None:
             payload["sizing_bounds"] = asdict(self._bounds)
+        if self._map_communications or self._bus_policy != "least_index":
+            payload["communication_mapping"] = {
+                "enabled": self._map_communications,
+                "bus_policy": self._bus_policy,
+            }
         return payload
 
     @classmethod
@@ -329,12 +474,15 @@ class ExplorationProblem:
         bounds = None
         if "sizing_bounds" in payload:
             bounds = ArchitectureBounds(**payload["sizing_bounds"])
+        communication = payload.get("communication_mapping", {})
         return cls(
             system.graph,
             system.mapping,
             system.architecture,
             name=system.name,
             bounds=bounds,
+            map_communications=bool(communication.get("enabled", False)),
+            bus_policy=communication.get("bus_policy", "least_index"),
         )
 
     def __repr__(self) -> str:

@@ -9,10 +9,12 @@ enumeration of the alternative paths the scheduler works on.
 
 from .builder import CPGBuilder, build_chain_graph
 from .communication import (
+    BUS_POLICIES,
     CommunicationInfo,
     ExpandedGraph,
     expand_communications,
     is_expanded,
+    message_id,
 )
 from .cpg import ConditionalProcessGraph, GraphStructureError
 from .edges import Edge
@@ -28,6 +30,7 @@ from .process import (
 
 __all__ = [
     "AlternativePath",
+    "BUS_POLICIES",
     "CPGBuilder",
     "CommunicationInfo",
     "ConditionalProcessGraph",
@@ -43,6 +46,7 @@ __all__ = [
     "enumerate_paths",
     "expand_communications",
     "is_expanded",
+    "message_id",
     "ordinary_process",
     "sink_process",
     "source_process",

@@ -5,18 +5,50 @@ processors is represented by a *communication process* mapped to a bus (the
 black dots of Fig. 1).  Designers usually specify the graph at the process
 level only; :func:`expand_communications` inserts the communication processes
 given a mapping, producing the graph the scheduler actually works on.
+
+Communication-to-bus mapping is a design dimension of its own (the paper maps
+and schedules communication processes like any other process):
+
+* every potential communication carries a stable *message id*
+  (:func:`message_id`, ``"src->dst"``) naming the process-level edge, so an
+  explicit bus choice survives remapping of the endpoint processes;
+* ``bus_assignment`` pins individual messages to buses, validated against the
+  architecture's connectivity (a bus that does not connect both endpoint
+  processors is rejected, not silently accepted);
+* unpinned messages fall back to a *policy*: ``least_index`` (the
+  lexicographically least connecting bus name — deterministic regardless of
+  the order buses were registered in) or ``least_loaded`` (the connecting bus
+  with the least communication load accumulated so far, name tie-break).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Mapping as TMapping, Optional, Tuple, Union
 
 from ..architecture import Architecture, Mapping, MappingError
 from ..architecture.processing_element import ProcessingElement
 from .cpg import ConditionalProcessGraph, GraphStructureError
 from .edges import Edge
 from .process import communication_process
+
+#: The bus-selection policies :func:`expand_communications` understands.
+BUS_POLICIES: Tuple[str, ...] = ("least_index", "least_loaded")
+
+#: Keys of an explicit bus assignment: a stable message id ("src->dst") or
+#: the raw (src, dst) pair; values name a bus or give the element itself.
+MessageKey = Union[str, Tuple[str, str]]
+BusLike = Union[ProcessingElement, str]
+
+
+def message_id(src: str, dst: str) -> str:
+    """The stable id of the (potential) message carried by edge ``src -> dst``.
+
+    Message ids name the process-level edge, not the processors its endpoints
+    happen to be mapped to, so a per-message bus assignment keyed by id stays
+    meaningful when the endpoint processes are remapped.
+    """
+    return f"{src}->{dst}"
 
 
 @dataclass(frozen=True)
@@ -28,6 +60,8 @@ class CommunicationInfo:
     dst: str
     bus: ProcessingElement
     communication_time: float
+    #: Stable id of the message this process carries (see :func:`message_id`).
+    message: str = ""
 
 
 @dataclass(frozen=True)
@@ -48,30 +82,92 @@ class ExpandedGraph:
     graph: ConditionalProcessGraph
     mapping: Mapping
     communications: Dict[str, CommunicationInfo]
+    #: (src, dst) -> info index, built at construction so per-edge lookups are
+    #: one dict probe instead of a scan over every communication.
+    _by_endpoints: Dict[Tuple[str, str], CommunicationInfo] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        index = {
+            (info.src, info.dst): info for info in self.communications.values()
+        }
+        object.__setattr__(self, "_by_endpoints", index)
 
     def communication_between(self, src: str, dst: str) -> Optional[CommunicationInfo]:
         """Return the communication process inserted between two processes, if any."""
-        for info in self.communications.values():
-            if info.src == src and info.dst == dst:
-                return info
-        return None
+        return self._by_endpoints.get((src, dst))
+
+    def bus_of(self, message: str) -> Optional[ProcessingElement]:
+        """The bus carrying the given message id, or None when intra-processor."""
+        src, _, dst = message.partition("->")
+        info = self._by_endpoints.get((src, dst))
+        return info.bus if info is not None else None
+
+    @property
+    def bus_assignment(self) -> Dict[str, str]:
+        """The realised communication mapping: message id -> bus name."""
+        return {
+            info.message: info.bus.name for info in self.communications.values()
+        }
+
+
+def _resolve_assigned_bus(
+    architecture: Architecture,
+    src: str,
+    dst: str,
+    src_pe: ProcessingElement,
+    dst_pe: ProcessingElement,
+    assigned: BusLike,
+) -> ProcessingElement:
+    """Validate one explicit bus choice against the architecture's topology."""
+    if isinstance(assigned, str):
+        pe = architecture.get(assigned)
+        if pe is None:
+            raise MappingError(
+                f"bus {assigned!r} assigned to message {message_id(src, dst)!r} "
+                "is not a processing element of the architecture"
+            )
+        assigned = pe
+    elif assigned.name not in architecture or architecture[assigned.name] != assigned:
+        raise MappingError(
+            f"bus {assigned.name!r} assigned to message {message_id(src, dst)!r} "
+            "does not belong to the architecture"
+        )
+    if not assigned.is_bus:
+        raise MappingError(
+            f"{assigned.name!r} assigned to message {message_id(src, dst)!r} "
+            "is not a bus"
+        )
+    connecting = {pe.name for pe in architecture.buses_between(src_pe, dst_pe)}
+    if assigned.name not in connecting:
+        raise MappingError(
+            f"bus {assigned.name!r} does not connect {src_pe.name} and "
+            f"{dst_pe.name}; cannot carry the message {message_id(src, dst)!r}"
+        )
+    return assigned
 
 
 def _select_bus(
     architecture: Architecture,
     src_pe: ProcessingElement,
     dst_pe: ProcessingElement,
-    preferred: Optional[ProcessingElement],
+    policy: str,
+    loads: Dict[str, float],
 ) -> ProcessingElement:
-    if preferred is not None:
-        return preferred
+    """Pick a bus for an unpinned message according to the selection policy."""
     candidates = architecture.buses_between(src_pe, dst_pe)
     if not candidates:
         raise MappingError(
             f"no bus connects {src_pe.name} and {dst_pe.name}; cannot map the "
             "communication between processes on these processors"
         )
-    return candidates[0]
+    if policy == "least_loaded":
+        return min(candidates, key=lambda pe: (loads.get(pe.name, 0.0), pe.name))
+    # least_index: the lexicographically least connecting bus name.  Sorting
+    # here (rather than trusting the iteration order of buses_between) keeps
+    # the default deterministic however the architecture registered its buses.
+    return min(candidates, key=lambda pe: pe.name)
 
 
 def expand_communications(
@@ -79,7 +175,8 @@ def expand_communications(
     mapping: Mapping,
     architecture: Optional[Architecture] = None,
     name_format: str = "{src}_to_{dst}",
-    bus_assignment: Optional[Dict[Tuple[str, str], ProcessingElement]] = None,
+    bus_assignment: Optional[TMapping[MessageKey, BusLike]] = None,
+    bus_policy: str = "least_index",
 ) -> ExpandedGraph:
     """Insert a communication process on every inter-processor edge.
 
@@ -96,18 +193,34 @@ def expand_communications(
         Format string for communication process names, receiving ``src`` and
         ``dst`` keyword arguments.
     bus_assignment:
-        Optional explicit choice of bus per (src, dst) pair; by default the
-        first bus connecting the two processors is used.
+        Optional explicit bus choice per message, keyed by stable message id
+        (``"src->dst"``) or by the raw ``(src, dst)`` pair; values may be
+        :class:`ProcessingElement` instances or bus names.  Every entry whose
+        edge actually crosses processors is validated against the
+        architecture: the bus must exist, be a bus, and connect both endpoint
+        processors (:class:`~repro.architecture.MappingError` otherwise).
+        Entries for messages whose endpoints share a processor are ignored —
+        they are dormant, not invalid, so assignments survive remapping.
+    bus_policy:
+        Fallback policy for unpinned messages: ``"least_index"`` (default,
+        the lexicographically least connecting bus) or ``"least_loaded"``
+        (the connecting bus with the least communication load accumulated so
+        far during this expansion, bus name as tie-break).
 
     Returns
     -------
     ExpandedGraph
         The expanded graph, the extended mapping and per-communication info.
     """
+    if bus_policy not in BUS_POLICIES:
+        raise ValueError(
+            f"unknown bus policy {bus_policy!r}; choose from {BUS_POLICIES}"
+        )
     architecture = architecture or mapping.architecture
     expanded = ConditionalProcessGraph(f"{graph.name}-expanded")
     new_mapping = mapping.copy()
     communications: Dict[str, CommunicationInfo] = {}
+    bus_loads: Dict[str, float] = {}
 
     for process in graph.processes:
         expanded.add_process(process)
@@ -137,8 +250,23 @@ def expand_communications(
         # from the communication process to the consumer is simple.
         expanded.add_edge(Edge(edge.src, comm_name, edge.condition))
         expanded.add_edge(Edge(comm_name, edge.dst))
-        preferred = bus_assignment.get((edge.src, edge.dst)) if bus_assignment else None
-        chosen_bus = _select_bus(architecture, src_pe, dst_pe, preferred)
+        message = message_id(edge.src, edge.dst)
+        assigned: Optional[BusLike] = None
+        if bus_assignment:
+            assigned = bus_assignment.get(message)
+            if assigned is None:
+                assigned = bus_assignment.get((edge.src, edge.dst))
+        if assigned is not None:
+            chosen_bus = _resolve_assigned_bus(
+                architecture, edge.src, edge.dst, src_pe, dst_pe, assigned
+            )
+        else:
+            chosen_bus = _select_bus(
+                architecture, src_pe, dst_pe, bus_policy, bus_loads
+            )
+        bus_loads[chosen_bus.name] = bus_loads.get(
+            chosen_bus.name, 0.0
+        ) + comm.duration_on(chosen_bus)
         new_mapping.assign(comm_name, chosen_bus)
         communications[comm_name] = CommunicationInfo(
             name=comm_name,
@@ -146,6 +274,7 @@ def expand_communications(
             dst=edge.dst,
             bus=chosen_bus,
             communication_time=edge.communication_time,
+            message=message,
         )
 
     return ExpandedGraph(expanded, new_mapping, communications)

@@ -30,7 +30,9 @@ def _candidate(tag: str) -> Candidate:
 
 
 def _evaluation(tag: str, vector, feasible: bool = True) -> CandidateEvaluation:
-    delta_max, mean_path_delay, load_imbalance, architecture_cost = vector
+    """Build an evaluation from a 4- or 5-component objective vector."""
+    delta_max, mean_path_delay, load_imbalance, architecture_cost = vector[:4]
+    bus_imbalance = vector[4] if len(vector) > 4 else 0.0
     return CandidateEvaluation(
         fingerprint=_candidate(tag).fingerprint,
         cost=delta_max,
@@ -40,6 +42,7 @@ def _evaluation(tag: str, vector, feasible: bool = True) -> CandidateEvaluation:
         mean_path_delay=mean_path_delay,
         load_imbalance=load_imbalance,
         architecture_cost=architecture_cost,
+        bus_imbalance=bus_imbalance,
     )
 
 
@@ -105,7 +108,7 @@ class TestParetoFront:
         # A dominating point evicts both.
         assert front.offer(_candidate("c"), _evaluation("c", (3, 4, 0, 2)))
         assert len(front) == 1
-        assert front.vectors() == ((3, 4, 0, 2),)
+        assert front.vectors() == ((3, 4, 0, 2, 0.0),)
 
     def test_rejects_dominated_and_duplicate_vectors(self):
         front = ParetoFront()
@@ -127,14 +130,18 @@ class TestParetoFront:
         front.offer(_candidate("a"), _evaluation("a", (5, 1, 0, 2)))
         front.offer(_candidate("b"), _evaluation("b", (1, 5, 0, 2)))
         front.offer(_candidate("c"), _evaluation("c", (3, 3, 0, 2)))
-        assert front.vectors() == ((1, 5, 0, 2), (3, 3, 0, 2), (5, 1, 0, 2))
+        assert front.vectors() == (
+            (1, 5, 0, 2, 0.0),
+            (3, 3, 0, 2, 0.0),
+            (5, 1, 0, 2, 0.0),
+        )
 
 
 @settings(max_examples=200, deadline=None)
 @given(
     vectors=st.lists(
         st.tuples(
-            st.integers(0, 6), st.integers(0, 6),
+            st.integers(0, 6), st.integers(0, 6), st.integers(0, 6),
             st.integers(0, 6), st.integers(0, 6),
         ),
         min_size=0,
