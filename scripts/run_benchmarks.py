@@ -12,9 +12,15 @@ Modes::
     PYTHONPATH=src python scripts/run_benchmarks.py            # measure + rewrite BENCH_core.json
     PYTHONPATH=src python scripts/run_benchmarks.py --check    # exit 1 on >25% regression
 
+``run`` ends with a one-line-per-record summary table of the whole committed
+trajectory (merge grid, exploration, genetic, comm_mapping, incremental) so
+CI logs show it at a glance.
+
 ``--check`` re-measures the reference workload only and fails (exit 1) when
 its merge time regresses more than ``--tolerance`` (default 0.25) against the
-committed baseline.  The limit is scaled by a host-speed calibration (a fixed
+committed baseline.  It then replays the genetic, communication-mapping and
+incremental-evaluation records (determinism anchors exactly; timings within
+tolerance; the incremental speedup against its floor).  The limit is scaled by a host-speed calibration (a fixed
 pure-Python workload timed both at baseline capture and at check time), so a
 machine slower than the baseline host is not flagged as a regression.  The
 check is also wired into tier-1 as a pytest smoke test
@@ -93,6 +99,35 @@ COMM_MAPPING_WORKLOAD = {
 }
 
 COMM_MAPPING_TOLERANCE = 0.5
+
+#: Incremental-evaluation benchmark workload: a *move-local* candidate
+#: stream — a seeded walk where every candidate differs from the previous
+#: design point by one local move (one process remapped, or one message
+#: pinned to a different bus), the shape every engine's neighbourhood
+#: produces — scored twice over distinct candidates only: once through the
+#: full expand-schedule-merge pipeline per candidate, once through the
+#: sub-fingerprint stage caches (`repro.exploration.StageCache`).  The
+#: platform (6 programmable processors, 2 buses) sits inside the paper's
+#: experimental range of 1-11 processors and 1-8 buses.  Both arms are pure,
+#: so every per-candidate evaluation must agree bit-exactly; the frozen best
+#: cost doubles as the determinism anchor.  The speedup is a ratio of two
+#: measurements on the same host, so ``--check`` gates it unscaled.
+INCREMENTAL_WORKLOAD = {
+    "nodes": 80,
+    "alternative_paths": 8,
+    "programmable_processors": 6,
+    "buses": 2,
+    "seed": 11,
+    "stream_length": 140,
+    "advance_probability": 0.3,
+    "repeats": 2,
+}
+
+#: ``--check`` floor on the re-measured incremental speedup.  The committed
+#: record must show >= 2x (``run`` refuses to freeze less); the gate floor
+#: is deliberately looser so a busy CI host does not flag phantom
+#: regressions, while a genuinely broken stage cache (speedup ~1x) fails.
+INCREMENTAL_MIN_SPEEDUP = 1.7
 
 
 def _calibrate(repeats: int = 3) -> float:
@@ -176,7 +211,9 @@ def _measure_exploration() -> dict:
         stream.extend(replay)
 
     started = time.perf_counter()
-    naive = CachedEvaluator(problem, cache=False).evaluate_many(stream)
+    naive = CachedEvaluator(problem, cache=False, stage_cache=False).evaluate_many(
+        stream
+    )
     naive_seconds = time.perf_counter() - started
 
     workers = default_worker_count()
@@ -303,6 +340,154 @@ def _measure_comm_mapping() -> dict:
     }
 
 
+def _incremental_problem_and_stream():
+    """Build the :data:`INCREMENTAL_WORKLOAD` problem and candidate stream."""
+    import random
+
+    from repro.exploration import ExplorationProblem
+    from repro.generator import generate_system
+
+    spec = INCREMENTAL_WORKLOAD
+    system = generate_system(
+        spec["nodes"],
+        spec["alternative_paths"],
+        seed=spec["seed"],
+        programmable_processors=spec["programmable_processors"],
+        buses=spec["buses"],
+    )
+    problem = ExplorationProblem.from_system(system, map_communications=True)
+    rng = random.Random(spec["seed"])
+    current = problem.initial_candidate()
+    stream = [current]
+    seen = {current.fingerprint}
+    processes = problem.movable_processes
+    processors = problem.processor_names
+    while len(stream) < spec["stream_length"]:
+        if rng.random() < 0.5:  # move one process's PE ...
+            process = rng.choice(processes)
+            targets = [pe for pe in processors if pe != current.pe_of(process)]
+            candidate = current.reassigned(process, rng.choice(targets))
+        else:  # ... or one message's bus pin
+            active = problem.active_messages(current)
+            if not active:
+                continue
+            message, src, dst = rng.choice(active)
+            buses = problem.connecting_buses(current, src, dst)
+            if len(buses) < 2:
+                continue
+            candidate = current.with_communication(message, rng.choice(buses))
+        if candidate.fingerprint in seen:
+            continue
+        seen.add(candidate.fingerprint)
+        stream.append(candidate)
+        if rng.random() < spec["advance_probability"]:
+            current = candidate
+    return problem, stream
+
+
+def _measure_incremental() -> dict:
+    """Time full-pipeline vs staged (incremental) evaluation, interleaved.
+
+    Each arm is measured ``repeats`` times and the best (minimum) time is
+    kept, filtering scheduler/thermal noise out of the ratio.  Every repeat
+    asserts the two arms produced bit-identical evaluations — the
+    correctness half of the record; the frozen ``best_cost`` anchors
+    determinism across hosts.
+    """
+    import time as _time
+
+    from repro.exploration import StageCache, evaluate_candidate
+
+    spec = INCREMENTAL_WORKLOAD
+    problem, stream = _incremental_problem_and_stream()
+    full_times, staged_times = [], []
+    stage_stats = None
+    for _ in range(spec["repeats"]):
+        started = _time.perf_counter()
+        full = [evaluate_candidate(problem, candidate) for candidate in stream]
+        full_times.append(_time.perf_counter() - started)
+
+        cache = StageCache()
+        started = _time.perf_counter()
+        staged = [
+            evaluate_candidate(problem, candidate, stage_cache=cache)
+            for candidate in stream
+        ]
+        staged_times.append(_time.perf_counter() - started)
+        if full != staged:  # not an assert: must also hold under python -O
+            raise SystemExit(
+                "incremental evaluation diverged from the full pipeline"
+            )
+        stage_stats = cache.stats
+
+    full_best = min(full_times)
+    staged_best = min(staged_times)
+    feasible_costs = [evaluation.cost for evaluation in staged if evaluation.feasible]
+    if not feasible_costs:
+        raise SystemExit(
+            "INCREMENTAL_WORKLOAD produced no feasible candidates; retune it"
+        )
+    return {
+        **spec,
+        "distinct_candidates": len(stream),
+        "full_seconds": round(full_best, 4),
+        "incremental_seconds": round(staged_best, 4),
+        "speedup": round(full_best / staged_best, 2),
+        "best_cost": min(feasible_costs),
+        "expansion_hits": stage_stats.expansion_hits,
+        "expansion_misses": stage_stats.expansion_misses,
+        "structure_hits": stage_stats.structure_hits,
+        "structure_misses": stage_stats.structure_misses,
+        "schedule_hits": stage_stats.schedule_hits,
+        "schedule_misses": stage_stats.schedule_misses,
+        "min_speedup": INCREMENTAL_MIN_SPEEDUP,
+    }
+
+
+def _summary_rows(payload: dict) -> list:
+    """One ``(record, headline, seconds)`` row per committed benchmark record."""
+    rows = []
+    for preset, record in payload["workloads"].items():
+        speedup = record.get("speedup_vs_seed")
+        headline = f"merge x{speedup} vs seed" if speedup else "merge"
+        rows.append([preset, headline, record["merge_seconds"]])
+    exploration = payload["exploration"]
+    rows.append([
+        "exploration",
+        f"cache+pool x{exploration['speedup']} vs naive",
+        exploration["optimised_seconds"],
+    ])
+    genetic = payload["genetic"]
+    rows.append([
+        "genetic",
+        f"front of {genetic['front_size']} frozen (determinism)",
+        genetic["engine_seconds"],
+    ])
+    comm = payload["comm_mapping"]
+    rows.append([
+        "comm_mapping",
+        f"mapped {comm['mapped_best_cost']:g} < derived {comm['derived_best_cost']:g}",
+        comm["engine_seconds"],
+    ])
+    incremental = payload["incremental"]
+    rows.append([
+        "incremental",
+        f"staged x{incremental['speedup']} vs full pipeline",
+        incremental["incremental_seconds"],
+    ])
+    return rows
+
+
+def print_summary(payload: dict) -> None:
+    """Print the one-line-per-record trajectory table (for CI logs)."""
+    rows = _summary_rows(payload)
+    width = max(len(str(row[0])) for row in rows)
+    head = max(len(str(row[1])) for row in rows)
+    print("benchmark trajectory:")
+    for name, headline, seconds in rows:
+        print(f"  {str(name):<{width}}  {str(headline):<{head}}  {seconds:.4f}s")
+
+
 def run(output: Path, presets, repeats: int) -> dict:
     workloads = {}
     for preset in presets:
@@ -350,6 +535,25 @@ def run(output: Path, presets, repeats: int) -> dict:
         f"{comm_mapping['mapped_bus_distribution']}) in "
         f"{comm_mapping['engine_seconds']:.4f}s"
     )
+    incremental = _measure_incremental()
+    if incremental["speedup"] < 2.0:
+        # --check gates a speedup floor; refusing to freeze a baseline that
+        # does not meet the headline claim beats committing a red gate.
+        raise SystemExit(
+            "refusing to freeze an incremental baseline below the 2x "
+            f"headline: measured {incremental['speedup']}x; rerun on a quiet "
+            "host or retune INCREMENTAL_WORKLOAD"
+        )
+    print(
+        f"increm. : {incremental['distinct_candidates']} move-local candidates, "
+        f"full {incremental['full_seconds']:.4f}s vs staged "
+        f"{incremental['incremental_seconds']:.4f}s "
+        f"({incremental['speedup']}x; structure hits "
+        f"{incremental['structure_hits']}/"
+        f"{incremental['structure_hits'] + incremental['structure_misses']}, "
+        f"schedule hits {incremental['schedule_hits']}/"
+        f"{incremental['schedule_hits'] + incremental['schedule_misses']})"
+    )
     payload = {
         "description": (
             "ScheduleMerger.merge wall-time on the LARGE_SCALE_PRESETS random "
@@ -362,8 +566,12 @@ def run(output: Path, presets, repeats: int) -> dict:
             "determinism anchor. 'comm_mapping' explores the two-bus Fig. 1 "
             "system with and without communication-to-bus mapping under an "
             "identical engine/seed/cycle budget and freezes both best costs "
-            "(the mapped run must beat the derived run). Regenerate with "
-            "scripts/run_benchmarks.py; check with --check."
+            "(the mapped run must beat the derived run). 'incremental' "
+            "scores a move-local candidate stream through the staged "
+            "sub-fingerprint caches versus the full pipeline per candidate "
+            "(bit-identical evaluations, frozen best cost, >= 2x at "
+            "capture). Regenerate with scripts/run_benchmarks.py; check "
+            "with --check."
         ),
         "reference": DEFAULT_REFERENCE,
         "tolerance": DEFAULT_TOLERANCE,
@@ -372,9 +580,11 @@ def run(output: Path, presets, repeats: int) -> dict:
         "exploration": exploration,
         "genetic": genetic,
         "comm_mapping": comm_mapping,
+        "incremental": incremental,
     }
     output.write_text(json.dumps(payload, indent=1) + "\n")
     print(f"wrote {output}")
+    print_summary(payload)
     return payload
 
 
@@ -417,7 +627,10 @@ def check(
     failure = _check_genetic(baseline, scale)
     if failure:
         return failure
-    return _check_comm_mapping(baseline, scale)
+    failure = _check_comm_mapping(baseline, scale)
+    if failure:
+        return failure
+    return _check_incremental(baseline)
 
 
 def _check_genetic(baseline: dict, scale: float) -> str | None:
@@ -501,6 +714,41 @@ def _check_comm_mapping(baseline: dict, scale: float) -> str | None:
             f"{measured['engine_seconds']:.4f}s > "
             f"{committed['engine_seconds']:.4f}s * {1.0 + tolerance:.2f} "
             f"* host scale {scale:.2f}"
+        )
+    return None
+
+
+def _check_incremental(baseline: dict) -> str | None:
+    """Gate the incremental-evaluation benchmark: determinism, then speedup.
+
+    The measurement itself asserts that staged and full-pipeline evaluations
+    are bit-identical per candidate; this gate additionally requires the
+    frozen best cost to reproduce exactly (seeded pure Python) and the
+    re-measured speedup to stay above the committed floor.  The speedup is a
+    same-host ratio, so no calibration scaling applies.
+    """
+    committed = baseline.get("incremental")
+    if not committed:  # baseline predates the incremental benchmark
+        return None
+    measured = _measure_incremental()
+    if measured["best_cost"] != committed["best_cost"]:
+        print("increm. : best cost diverged from baseline -> REGRESSION")
+        return (
+            "incremental evaluation is no longer deterministic per seed: "
+            f"best cost measured {measured['best_cost']!r} vs committed "
+            f"{committed['best_cost']!r}"
+        )
+    floor = committed.get("min_speedup", INCREMENTAL_MIN_SPEEDUP)
+    verdict = "ok" if measured["speedup"] >= floor else "REGRESSION"
+    print(
+        f"increm. : staged {measured['incremental_seconds']:.4f}s vs full "
+        f"{measured['full_seconds']:.4f}s = {measured['speedup']}x "
+        f"(floor {floor}x, committed {committed['speedup']}x) -> {verdict}"
+    )
+    if measured["speedup"] < floor:
+        return (
+            f"incremental evaluator speedup regressed: {measured['speedup']}x "
+            f"< the committed floor {floor}x (baseline {committed['speedup']}x)"
         )
     return None
 

@@ -144,10 +144,19 @@ def format_exploration_comparison(
 ) -> str:
     """Side-by-side summary of several exploration runs (one row per engine).
 
-    ``results`` duck-types :class:`repro.exploration.ExplorationResult`.
+    ``results`` duck-types :class:`repro.exploration.ExplorationResult`.  The
+    final column reports the incremental evaluator's per-path schedule cache
+    (``hits/probes``, see :class:`repro.exploration.StageStats`); runs without
+    stage counters (staged evaluation off, process-mode pool) show ``-``.
     """
     rows = []
     for result in results:
+        stages = getattr(result, "stages", None)
+        if stages is not None:
+            probes = stages.schedule_hits + stages.schedule_misses
+            stage_cell = f"{stages.schedule_hits}/{probes}"
+        else:
+            stage_cell = "-"
         rows.append([
             result.engine,
             result.initial.delta_max,
@@ -156,9 +165,11 @@ def format_exploration_comparison(
             result.cycles,
             result.evaluations,
             result.cache.hits,
+            stage_cell,
         ])
     return format_table(
         title,
-        ["engine", "seed dmax", "best dmax", "gain", "cycles", "evals", "cache hits"],
+        ["engine", "seed dmax", "best dmax", "gain", "cycles", "evals",
+         "cache hits", "sched hits"],
         rows,
     )

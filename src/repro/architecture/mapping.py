@@ -120,7 +120,11 @@ class Mapping:
         return tuple(sorted(self._by_pe.get(pe_name, ())))
 
     def copy(self) -> "Mapping":
-        return Mapping(self._architecture, dict(self._assignments))
+        """A fast structural copy (contents were validated when first assigned)."""
+        clone = Mapping(self._architecture)
+        clone._assignments = dict(self._assignments)
+        clone._by_pe = {name: set(names) for name, names in self._by_pe.items()}
+        return clone
 
     def reassigned(self, changes: TMapping[str, PELike]) -> "Mapping":
         """Return a new mapping with the given processes moved, leaving self intact.

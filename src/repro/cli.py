@@ -401,6 +401,18 @@ def _explore_result_dict(result, include_front: bool = False, problem=None) -> d
             "misses": result.cache.misses,
             "hit_rate": result.cache.hit_rate,
         },
+        "stages": (
+            {
+                "expansion_hits": result.stages.expansion_hits,
+                "expansion_misses": result.stages.expansion_misses,
+                "expansion_hit_rate": result.stages.expansion_hit_rate,
+                "schedule_hits": result.stages.schedule_hits,
+                "schedule_misses": result.stages.schedule_misses,
+                "schedule_hit_rate": result.stages.schedule_hit_rate,
+            }
+            if result.stages is not None
+            else None
+        ),
         "trajectory": [
             {
                 "cycle": point.cycle,
@@ -552,6 +564,14 @@ def _command_explore(arguments) -> int:
         print(f"         cycles {result.cycles}, evaluations {result.evaluations}, "
               f"cache hits {result.cache.hits} "
               f"({100.0 * result.cache.hit_rate:.0f}%), stop: {result.stop_reason}")
+        if result.stages is not None:
+            stages = result.stages
+            print(f"         stages: expansions "
+                  f"{stages.expansion_hits}/"
+                  f"{stages.expansion_hits + stages.expansion_misses} hits, "
+                  f"path schedules {stages.schedule_hits}/"
+                  f"{stages.schedule_hits + stages.schedule_misses} hits "
+                  f"({100.0 * stages.schedule_hit_rate:.0f}%)")
         if arguments.map_communications and result.best.feasible:
             realised = problem.communications_for(result.best_candidate)
             per_bus = Counter(realised.values())

@@ -9,7 +9,9 @@ repository's schedule merger as the evaluator:
 * :class:`Candidate` / :class:`CostWeights` — design points and their scoring
   (worst-case delay, mean path delay, processor load balance, architecture
   cost, bus contention), behind a content-hash evaluation cache
-  (:class:`CachedEvaluator`) so revisited mappings never re-run the merger;
+  (:class:`CachedEvaluator`) so revisited mappings never re-run the merger,
+  and a sub-fingerprint :class:`StageCache` so even *fresh* candidates reuse
+  the expansion and every per-path schedule a local move left untouched;
 * :class:`NeighborhoodSampler` — remap / swap / priority-switch / priority-
   bias moves, plus remap_comm / swap_bus communication-mapping moves when the
   problem enables ``map_communications`` (candidates then pin individual
@@ -50,10 +52,13 @@ from .candidate import Candidate
 from .cost import (
     CandidateEvaluation,
     CostWeights,
+    StageCache,
+    StageStats,
     architecture_cost_of,
     bus_imbalance_of,
     evaluate_candidate,
     load_imbalance_of,
+    merge_candidate,
 )
 from .engines import (
     ENGINES,
@@ -105,6 +110,8 @@ __all__ = [
     "ParetoPoint",
     "SearchState",
     "SimulatedAnnealingEngine",
+    "StageCache",
+    "StageStats",
     "Stalled",
     "StoppingCriterion",
     "TabuSearchEngine",
@@ -117,5 +124,6 @@ __all__ = [
     "dominates",
     "evaluate_candidate",
     "load_imbalance_of",
+    "merge_candidate",
     "non_dominated_sort",
 ]

@@ -134,6 +134,32 @@ class Candidate:
     def pe_of(self, process_name: str) -> str:
         return self.assignment_dict[process_name]
 
+    # -- sub-fingerprint slices (incremental evaluation) ---------------------
+
+    def assignment_slice(
+        self, names: Iterable[str]
+    ) -> Tuple[Tuple[str, str], ...]:
+        """The assignment restricted to ``names``, as sorted pairs.
+
+        One component of a *sub-fingerprint*: the per-path schedule cache of
+        the incremental evaluator keys each alternative path on only the
+        state that path can observe, and the placement of the path's own
+        processes is the largest part of it.  Names without an assignment
+        entry (dummies, communication processes) are simply absent.
+        """
+        members = names if isinstance(names, (set, frozenset)) else set(names)
+        return tuple(pair for pair in self.assignment if pair[0] in members)
+
+    def bias_slice(self, names: Iterable[str]) -> Tuple[Tuple[str, float], ...]:
+        """The priority bias restricted to ``names``, as sorted pairs.
+
+        The companion of :meth:`assignment_slice` for the priority
+        perturbation: a bias on a process outside the path cannot change the
+        path's schedule, so it must not fragment the path's cache key.
+        """
+        members = names if isinstance(names, (set, frozenset)) else set(names)
+        return tuple(pair for pair in self.priority_bias if pair[0] in members)
+
     # -- functional updates (neighbourhood moves build on these) -------------
 
     def reassigned(self, process_name: str, pe_name: str) -> "Candidate":

@@ -29,19 +29,352 @@ unchanged through the parallel evaluation pool and the content-hash cache.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..architecture.architecture import Architecture, ArchitectureError
 from ..architecture.mapping import MappingError
-from ..graph.communication import ExpandedGraph, expand_communications
+from ..graph.communication import (
+    ExpandedGraph,
+    ExpansionStructure,
+    assign_buses,
+    crossing_edges,
+    expand_communications,
+    expansion_structure,
+)
+from ..graph.paths import AlternativePath, PathEnumerator
 from ..scheduling.list_scheduler import PathListScheduler, SchedulingError
-from ..scheduling.merging import MergeConflictError, ScheduleMerger
-from ..scheduling.priorities import priority_function
+from ..scheduling.merging import MergeConflictError, MergeResult, ScheduleMerger
+from ..scheduling.priorities import (
+    PATH_LOCAL_PRIORITY_FUNCTIONS,
+    priority_function,
+)
+from ..scheduling.schedule import PathSchedule
 from .candidate import Candidate
 from .problem import ExplorationProblem
 
 _INFEASIBLE_COST = float("inf")
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Hit/miss counters of one :class:`StageCache` (misses = actual work).
+
+    ``expansion_*`` counts communication-expansion + path-enumeration stage
+    probes (one per evaluation); ``schedule_*`` counts per-path schedule
+    probes (one per alternative path per evaluation).  Sizes are the number
+    of memoized entries.
+    """
+
+    expansion_hits: int
+    expansion_misses: int
+    schedule_hits: int
+    schedule_misses: int
+    expansions: int
+    schedules: int
+    #: Structure-layer counters: on an expansion miss, the mapping-independent
+    #: graph structure + path enumeration may still be reused from a candidate
+    #: with the same co-location pattern (only the bus layer is rebuilt).
+    structure_hits: int = 0
+    structure_misses: int = 0
+    structures: int = 0
+
+    @property
+    def expansion_hit_rate(self) -> float:
+        """Fraction of expansion-stage probes answered from the cache."""
+        total = self.expansion_hits + self.expansion_misses
+        return self.expansion_hits / total if total else 0.0
+
+    @property
+    def schedule_hit_rate(self) -> float:
+        """Fraction of per-path schedule probes answered from the cache."""
+        total = self.schedule_hits + self.schedule_misses
+        return self.schedule_hits / total if total else 0.0
+
+
+class StageCache:
+    """Memo of the evaluation pipeline's *stages*, keyed by sub-fingerprints.
+
+    The whole-candidate cache (:class:`~repro.exploration.CachedEvaluator`)
+    only helps when a design point is revisited exactly.  Most neighbourhood
+    moves are *local* — one process remapped, one message repinned — so on a
+    whole-candidate miss nearly all of the per-path schedules are still
+    bit-identical to ones already computed.  A ``StageCache`` memoizes the
+    two expensive stages independently:
+
+    * **expansion** — communication expansion + path enumeration, keyed by
+      :meth:`ExplorationProblem.expansion_key` (assignment, platform,
+      effective bus pins);
+    * **per-path schedules** — one optimal (lock-free) list schedule per
+      alternative path, keyed by
+      :meth:`ExplorationProblem.path_schedule_key`, i.e. by only the state
+      that path can observe.
+
+    Invariants: evaluation must stay **pure** (the cached stages are reused
+    verbatim), a cache must serve a **single problem** (keys do not include
+    problem identity), and every sub-fingerprint must be **complete** — it
+    must cover everything that can change the stage's output (see
+    PERFORMANCE.md, "Incremental evaluation").  Sharing one instance across
+    threads is safe for correctness: stages are pure, so a store race at
+    worst recomputes a stage, and key interning — the one check-then-act
+    that could alias two fingerprints to one id — takes a lock.  The
+    counters may undercount under contention.
+
+    Like the whole-candidate cache, stage memos grow for the lifetime of the
+    cache (per-path schedules are the bulky part — one ``PathSchedule`` per
+    distinct sub-fingerprint + lock set); call :meth:`clear` between
+    independent long searches if memory matters more than cross-search hits.
+    """
+
+    __slots__ = (
+        "_expansions",
+        "_structures",
+        "_schedules",
+        "_key_ids",
+        "_next_key_id",
+        "_intern_lock",
+        "_contexts",
+        "expansion_hits",
+        "expansion_misses",
+        "structure_hits",
+        "structure_misses",
+        "schedule_hits",
+        "schedule_misses",
+    )
+
+    def __init__(self) -> None:
+        self._expansions: Dict[
+            Tuple, Tuple[ExpandedGraph, Tuple[AlternativePath, ...]]
+        ] = {}
+        # Mapping-independent expansion structures (graph + enumerated
+        # paths), keyed by the crossing-edge pattern: candidates that only
+        # shuffle processes between processors without co-locating (or
+        # splitting) any connected pair share one structure — and everything
+        # lazily cached on its graph object (guards, topological order).
+        self._structures: Dict[
+            Tuple, Tuple[ExpansionStructure, Tuple[AlternativePath, ...]]
+        ] = {}
+        self._schedules: Dict[Tuple, PathSchedule] = {}
+        # Sub-fingerprints are bulky nested tuples; they are hashed once here
+        # and replaced by a small integer id, so the (frequent) schedule-memo
+        # probes hash two small values instead of the whole fingerprint.
+        self._key_ids: Dict[Tuple, int] = {}
+        self._next_key_id = 0
+        self._intern_lock = threading.Lock()
+        # Per-path dependency structures (PathListScheduler contexts), keyed
+        # by interned path key and re-adopted across scheduler instances.
+        self._contexts: Dict[int, object] = {}
+        self.expansion_hits = 0
+        self.expansion_misses = 0
+        self.structure_hits = 0
+        self.structure_misses = 0
+        self.schedule_hits = 0
+        self.schedule_misses = 0
+
+    @property
+    def stats(self) -> StageStats:
+        """A snapshot of the stage-level hit/miss counters."""
+        return StageStats(
+            expansion_hits=self.expansion_hits,
+            expansion_misses=self.expansion_misses,
+            schedule_hits=self.schedule_hits,
+            schedule_misses=self.schedule_misses,
+            expansions=len(self._expansions),
+            schedules=len(self._schedules),
+            structure_hits=self.structure_hits,
+            structure_misses=self.structure_misses,
+            structures=len(self._structures),
+        )
+
+    # -- stage probes (used by merge_candidate) ------------------------------
+
+    def expansion(
+        self,
+        problem: ExplorationProblem,
+        candidate: Candidate,
+        pins: Optional[Dict[str, str]] = None,
+    ) -> Tuple[ExpandedGraph, Tuple[AlternativePath, ...]]:
+        """The expansion stage: expanded graph + enumerated paths, memoized.
+
+        Two layers: the full expansion is keyed by everything it can observe
+        (:meth:`ExplorationProblem.expansion_key`); on a miss, the
+        mapping-independent *structure* (graph + path enumeration) is still
+        reused across co-location patterns and only the bus-assignment layer
+        is rebuilt.  ``pins`` takes the candidate's already-filtered bus
+        pins (empty dict = none) so callers holding them skip refiltering.
+        """
+        if pins is None:
+            pins = problem.bus_assignment_for(candidate) or {}
+        key = problem.expansion_key(candidate, pins=pins)
+        cached = self._expansions.get(key)
+        if cached is not None:
+            self.expansion_hits += 1
+            return cached
+        self.expansion_misses += 1
+        mapping = problem.mapping_for(candidate)
+        pattern = crossing_edges(problem.graph, mapping)
+        record = self._structures.get(pattern)
+        if record is None:
+            self.structure_misses += 1
+            structure = expansion_structure(problem.graph, pattern)
+            record = (structure, PathEnumerator(structure.graph).paths())
+            self._structures[pattern] = record
+        else:
+            self.structure_hits += 1
+        structure, paths = record
+        expanded = assign_buses(
+            structure,
+            mapping,
+            problem.architecture_for(candidate),
+            bus_assignment=pins or None,
+            bus_policy=problem.bus_policy,
+        )
+        self._expansions[key] = (expanded, paths)
+        return expanded, paths
+
+    def intern_key(self, key: Tuple) -> int:
+        """Replace a bulky sub-fingerprint tuple with a stable small id.
+
+        Ids must be unique per fingerprint — an aliased id would make the
+        schedule memo serve another path's schedule — so the allocation is
+        locked against the shared-cache thread mode (double-checked: the
+        fast path is one GIL-atomic dict probe, the lock is only taken on
+        first intern of a key).
+        """
+        cached = self._key_ids.get(key)
+        if cached is None:
+            with self._intern_lock:
+                cached = self._key_ids.get(key)
+                if cached is None:
+                    cached = self._next_key_id
+                    self._next_key_id += 1
+                    self._key_ids[key] = cached
+        return cached
+
+    def clear(self) -> None:
+        """Drop every memoized stage (counters keep running totals).
+
+        The intern counter is monotonic and survives clearing, so ids handed
+        out before a ``clear`` can never alias ids interned afterwards —
+        clearing concurrently with an in-flight evaluation wastes that
+        evaluation's memo entries but cannot corrupt them.
+        """
+        with self._intern_lock:
+            self._expansions.clear()
+            self._structures.clear()
+            self._schedules.clear()
+            self._key_ids.clear()
+            self._contexts.clear()
+
+    def lookup_schedule(self, key: Tuple) -> Optional[PathSchedule]:
+        """Probe the per-path schedule memo (counts the hit/miss)."""
+        cached = self._schedules.get(key)
+        if cached is not None:
+            self.schedule_hits += 1
+        else:
+            self.schedule_misses += 1
+        return cached
+
+    def store_schedule(self, key: Tuple, schedule: PathSchedule) -> None:
+        """Record a freshly computed per-path schedule."""
+        self._schedules[key] = schedule
+
+
+def _locks_key(
+    locked_starts: Optional[Dict[str, float]],
+    locked_broadcasts: Optional[Dict],
+    ordered: bool,
+) -> Tuple:
+    """Hashable form of one schedule request's lock set.
+
+    ``locked_broadcasts`` values are :class:`ScheduledTask` objects; only
+    their primitive content enters the key.  ``ordered`` distinguishes
+    adjustment requests (dispatch follows the original start order) from
+    optimal ones — the hint *content* is derived from the path's optimal
+    schedule and therefore already covered by the path sub-fingerprint.
+    """
+    starts = (
+        tuple(sorted(locked_starts.items())) if locked_starts else ()
+    )
+    broadcasts = ()
+    if locked_broadcasts:
+        broadcasts = tuple(sorted(
+            (
+                str(condition),
+                task.start,
+                task.duration,
+                task.pe.name if task.pe is not None else "",
+            )
+            for condition, task in locked_broadcasts.items()
+        ))
+    return (starts, broadcasts, ordered)
+
+
+class _StagedScheduler:
+    """Memoizing facade the staged pipeline hands to the schedule merger.
+
+    Every ``schedule`` request — the optimal per-path schedules *and* the
+    locked re-adjustments the merger issues while walking its decision tree —
+    is keyed by ``(path sub-fingerprint, lock set)`` in the shared
+    :class:`StageCache`.  The inner scheduler is pure, so a request repeated
+    for a later candidate whose relevant slice is unchanged (the common case
+    under move-local search: the early decision-tree branches lock the same
+    times) returns the memoized schedule without re-dispatching.  Requests
+    with caller-supplied ``priorities`` (none in the pipeline) bypass the
+    memo.
+    """
+
+    __slots__ = ("_cache", "_inner", "_path_keys")
+
+    def __init__(
+        self,
+        cache: StageCache,
+        inner: PathListScheduler,
+        path_keys: Dict,
+    ) -> None:
+        self._cache = cache
+        self._inner = inner
+        self._path_keys = path_keys
+
+    def schedule(
+        self,
+        path: AlternativePath,
+        *,
+        priorities: Optional[Dict[str, float]] = None,
+        locked_starts: Optional[Dict[str, float]] = None,
+        locked_broadcasts: Optional[Dict] = None,
+        order_hint: Optional[Dict[str, float]] = None,
+    ) -> PathSchedule:
+        if priorities is not None:
+            return self._inner.schedule(
+                path,
+                priorities=priorities,
+                locked_starts=locked_starts,
+                locked_broadcasts=locked_broadcasts,
+                order_hint=order_hint,
+            )
+        path_key = self._path_keys[path.label]
+        key = (
+            path_key,
+            _locks_key(locked_starts, locked_broadcasts, order_hint is not None),
+        )
+        cached = self._cache.lookup_schedule(key)
+        if cached is not None:
+            return cached
+        context = self._cache._contexts.get(path_key)
+        if context is not None:
+            self._inner.adopt_context(path, context)
+        schedule = self._inner.schedule(
+            path,
+            locked_starts=locked_starts,
+            locked_broadcasts=locked_broadcasts,
+            order_hint=order_hint,
+        )
+        if context is None:
+            self._cache._contexts[path_key] = self._inner.export_context(path)
+        self._cache.store_schedule(key, schedule)
+        return schedule
 
 
 @dataclass(frozen=True)
@@ -137,9 +470,12 @@ def bus_imbalance_of(architecture: Architecture, expanded: ExpandedGraph) -> flo
     """
     if len(architecture.buses) < 2:
         return 0.0
-    loads: Dict[str, float] = {pe.name: 0.0 for pe in architecture.buses}
-    for info in expanded.communications.values():
-        loads[info.bus.name] += expanded.graph[info.name].duration_on(info.bus)
+    # The expansion already accumulated these sums while assigning buses
+    # (ExpandedGraph.bus_loads, shared with the least_loaded policy); buses
+    # that carry nothing still enter the mean at zero load.
+    loads: Dict[str, float] = {
+        pe.name: expanded.bus_loads.get(pe.name, 0.0) for pe in architecture.buses
+    }
     mean = sum(loads.values()) / len(loads)
     if mean <= 0:
         return 0.0
@@ -164,24 +500,34 @@ def architecture_cost_of(
     )
 
 
-def evaluate_candidate(
+def merge_candidate(
     problem: ExplorationProblem,
     candidate: Candidate,
-    weights: CostWeights = CostWeights(),
-) -> CandidateEvaluation:
-    """Score one candidate by running the merge pipeline end to end.
+    stage_cache: Optional[StageCache] = None,
+) -> Tuple[ExpandedGraph, MergeResult]:
+    """Run the merge pipeline for one candidate, optionally staged.
 
-    Infeasible candidates (unconnectable communications, unschedulable paths,
-    unresolvable merge conflicts, malformed sized platforms) get infinite
-    cost instead of raising, so a search can step over them.
+    Without a ``stage_cache`` this is the monolithic pipeline the repository
+    has always run: expand communications, schedule every alternative path,
+    merge.  With one, the expansion and the per-path schedules are looked up
+    by sub-fingerprint first, so a move-local candidate recomputes only the
+    paths its move can actually affect; the merge itself always runs (its
+    output is the whole point of the evaluation, and revisited *candidates*
+    are already absorbed by the whole-candidate cache upstream).
+
+    Both forms produce bit-identical results — the staged pipeline feeds the
+    merger the same paths (enumeration is part of the memoized expansion
+    stage, preserving order) and the same per-path schedules (the scheduler
+    is deterministic and the sub-fingerprints cover everything it observes).
+    Raises the pipeline's errors (``MappingError`` etc.); callers wanting
+    infinite-cost semantics use :func:`evaluate_candidate`.
     """
     dispatch_priorities = priority_function(candidate.priority_function)
-    try:
-        architecture = problem.architecture_for(candidate)
-        mapping = problem.mapping_for(candidate)
+    architecture = problem.architecture_for(candidate)
+    if stage_cache is None:
         expanded = expand_communications(
             problem.graph,
-            mapping,
+            problem.mapping_for(candidate),
             architecture,
             bus_assignment=problem.bus_assignment_for(candidate),
             bus_policy=problem.bus_policy,
@@ -196,6 +542,58 @@ def evaluate_candidate(
         result = ScheduleMerger(
             expanded.graph, expanded.mapping, architecture, scheduler
         ).merge()
+        return expanded, result
+
+    pins = problem.bus_assignment_for(candidate) or {}
+    expanded, paths = stage_cache.expansion(problem, candidate, pins=pins)
+    inner = PathListScheduler(
+        expanded.graph,
+        expanded.mapping,
+        architecture,
+        priority_function=dispatch_priorities,
+        priority_bias=candidate.bias_dict,
+    )
+    # Non-path-local priority functions key every path on the full expansion;
+    # build that key once per candidate (reusing the filtered pins), not once
+    # per path.
+    expansion_key = None
+    if candidate.priority_function not in PATH_LOCAL_PRIORITY_FUNCTIONS:
+        expansion_key = problem.expansion_key(candidate, pins=pins)
+    path_keys = {
+        path.label: stage_cache.intern_key(
+            problem.path_schedule_key(
+                candidate, path, expanded, expansion_key=expansion_key
+            )
+        )
+        for path in paths
+    }
+    scheduler = _StagedScheduler(stage_cache, inner, path_keys)
+    path_schedules = {path.label: scheduler.schedule(path) for path in paths}
+    result = ScheduleMerger(
+        expanded.graph, expanded.mapping, architecture, scheduler
+    ).merge(paths=list(paths), path_schedules=path_schedules)
+    return expanded, result
+
+
+def evaluate_candidate(
+    problem: ExplorationProblem,
+    candidate: Candidate,
+    weights: CostWeights = CostWeights(),
+    stage_cache: Optional[StageCache] = None,
+) -> CandidateEvaluation:
+    """Score one candidate by running the merge pipeline end to end.
+
+    Infeasible candidates (unconnectable communications, unschedulable paths,
+    unresolvable merge conflicts, malformed sized platforms) get infinite
+    cost instead of raising, so a search can step over them.  With a
+    ``stage_cache`` the pipeline runs incrementally (see
+    :func:`merge_candidate`); the evaluation is bit-identical either way.
+    """
+    try:
+        expanded, result = merge_candidate(
+            problem, candidate, stage_cache=stage_cache
+        )
+        architecture = problem.architecture_for(candidate)
     except (ArchitectureError, MappingError, SchedulingError, MergeConflictError) as error:
         return CandidateEvaluation(
             fingerprint=candidate.fingerprint,
@@ -204,10 +602,7 @@ def evaluate_candidate(
             error=str(error),
         )
 
-    path_delays = [
-        result.table.delay_of_path(expanded.graph, expanded.mapping, path)
-        for path in result.paths
-    ]
+    path_delays = [result.table_path_delays[path.label] for path in result.paths]
     mean_path_delay = sum(path_delays) / len(path_delays)
     imbalance = load_imbalance_of(problem, candidate)
     platform_cost = architecture_cost_of(problem, candidate, weights)

@@ -41,7 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from collections import deque
 
 from .candidate import Candidate
-from .cost import CandidateEvaluation, CostWeights
+from .cost import CandidateEvaluation, CostWeights, StageStats
 from .evaluator import CachedEvaluator, CacheStats
 from .moves import DEFAULT_PRIORITY_CHOICES, NeighborhoodSampler
 from .pareto import ParetoFront
@@ -157,6 +157,12 @@ class ExplorationResult:
     #: cache + live front), the snapshot also covers the design points the
     #: *earlier* runs evaluated — but never the later ones.
     front: Optional[ParetoFront] = None
+    #: Stage-level (expansion / per-path schedule) cache counters of the
+    #: incremental evaluator, cumulative like ``cache`` when engines share an
+    #: explorer.  None when staged evaluation is disabled, or when a
+    #: process-mode pool scores the misses (per-worker caches are not
+    #: aggregated).
+    stages: Optional[StageStats] = None
 
     @property
     def improved(self) -> bool:
@@ -279,6 +285,7 @@ class TabuSearchEngine(_EngineBase):
             evaluations=state.evaluations,
             stop_reason=reason or "stopped",
             cache=self._evaluator.stats,
+            stages=self._evaluator.stage_stats,
             front=(
                 self._evaluator.front.snapshot()
                 if self._evaluator.front is not None
@@ -369,6 +376,7 @@ class SimulatedAnnealingEngine(_EngineBase):
             evaluations=state.evaluations,
             stop_reason=reason or "stopped",
             cache=self._evaluator.stats,
+            stages=self._evaluator.stage_stats,
             front=(
                 self._evaluator.front.snapshot()
                 if self._evaluator.front is not None

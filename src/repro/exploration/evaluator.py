@@ -15,10 +15,16 @@ evaluated once; across batches, the cache answers directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from .candidate import Candidate
-from .cost import CandidateEvaluation, CostWeights, evaluate_candidate
+from .cost import (
+    CandidateEvaluation,
+    CostWeights,
+    StageCache,
+    StageStats,
+    evaluate_candidate,
+)
 from .pareto import ParetoFront
 from .pool import EvaluationPool
 from .problem import ExplorationProblem
@@ -61,6 +67,16 @@ class CachedEvaluator:
         *fresh* feasible evaluation is offered to the front, so the front ends
         up covering every distinct design point the evaluator ever scored
         (cache hits were already offered when they were first computed).
+    stage_cache:
+        Controls the *incremental* evaluation of whole-candidate cache
+        misses (see :class:`~repro.exploration.StageCache`): ``True`` (the
+        default) creates a private stage cache, ``False`` disables staged
+        evaluation (every miss re-runs the full pipeline — the benchmark
+        baseline), and an explicit :class:`StageCache` instance is used as
+        given (sharing across evaluators of the *same problem*).  With a
+        pool, every miss is scored by the pool's own stage caches
+        (configure them via ``EvaluationPool(stage_caching=...)``), so this
+        setting is ignored and no evaluator-side cache is created.
     """
 
     def __init__(
@@ -70,6 +86,7 @@ class CachedEvaluator:
         pool: Optional[EvaluationPool] = None,
         cache: bool = True,
         front: Optional[ParetoFront] = None,
+        stage_cache: Union[bool, StageCache] = True,
     ) -> None:
         if pool is not None and pool.weights != weights:
             raise ValueError(
@@ -84,6 +101,14 @@ class CachedEvaluator:
         self._cache: Dict[str, CandidateEvaluation] = {}
         self._hits = 0
         self._misses = 0
+        if pool is not None:
+            # Misses never run in-process: the pool's stage caches score
+            # them (see the stage_cache parameter doc).
+            self._stage_cache: Optional[StageCache] = None
+        elif isinstance(stage_cache, StageCache):
+            self._stage_cache = stage_cache
+        else:
+            self._stage_cache = StageCache() if stage_cache else None
 
     @property
     def problem(self) -> ExplorationProblem:
@@ -101,6 +126,25 @@ class CachedEvaluator:
     @property
     def stats(self) -> CacheStats:
         return CacheStats(self._hits, self._misses, len(self._cache))
+
+    @property
+    def stage_cache(self) -> Optional[StageCache]:
+        """The serial-path stage cache, or None when staged evaluation is off."""
+        return self._stage_cache
+
+    @property
+    def stage_stats(self) -> Optional[StageStats]:
+        """Stage-level hit/miss counters of whatever scores the misses.
+
+        With a pool, misses run on the pool's stage caches
+        (:meth:`EvaluationPool.stage_stats` — None in process mode, where the
+        caches live in the workers and are not aggregated); without one, the
+        evaluator's own serial stage cache.  None when staged evaluation is
+        disabled everywhere.
+        """
+        if self._pool is not None:
+            return self._pool.stage_stats
+        return self._stage_cache.stats if self._stage_cache is not None else None
 
     # -- scoring -------------------------------------------------------------
 
@@ -149,6 +193,11 @@ class CachedEvaluator:
         if self._pool is not None:
             return self._pool.evaluate(candidates)
         return [
-            evaluate_candidate(self._problem, candidate, self._weights)
+            evaluate_candidate(
+                self._problem,
+                candidate,
+                self._weights,
+                stage_cache=self._stage_cache,
+            )
             for candidate in candidates
         ]

@@ -322,5 +322,6 @@ class GeneticEngine(_EngineBase):
             evaluations=state.evaluations,
             stop_reason=reason or "stopped",
             cache=self._evaluator.stats,
+            stages=self._evaluator.stage_stats,
             front=front.snapshot(),
         )

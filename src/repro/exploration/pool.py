@@ -29,23 +29,42 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence
 
 from .candidate import Candidate
-from .cost import CandidateEvaluation, CostWeights, evaluate_candidate
+from .cost import (
+    CandidateEvaluation,
+    CostWeights,
+    StageCache,
+    StageStats,
+    evaluate_candidate,
+)
 from .problem import ExplorationProblem
 
 # Worker-process globals, set once per worker by _initialise_worker.
 _WORKER_PROBLEM: Optional[ExplorationProblem] = None
 _WORKER_WEIGHTS: Optional[CostWeights] = None
+# Each worker keeps its own stage cache (expansion + per-path schedules, see
+# cost.StageCache): stages are pure, so which worker a candidate lands on
+# changes only how often stages recompute, never the evaluations — results
+# stay submission-order deterministic whatever the chunking does.
+_WORKER_STAGE_CACHE: Optional[StageCache] = None
 
 
-def _initialise_worker(payload: Dict[str, Any], weights: CostWeights) -> None:
-    global _WORKER_PROBLEM, _WORKER_WEIGHTS
+def _initialise_worker(
+    payload: Dict[str, Any], weights: CostWeights, stage_caching: bool = True
+) -> None:
+    global _WORKER_PROBLEM, _WORKER_WEIGHTS, _WORKER_STAGE_CACHE
     _WORKER_PROBLEM = ExplorationProblem.from_payload(payload)
     _WORKER_WEIGHTS = weights
+    _WORKER_STAGE_CACHE = StageCache() if stage_caching else None
 
 
 def _evaluate_in_worker(candidate: Candidate) -> CandidateEvaluation:
     assert _WORKER_PROBLEM is not None and _WORKER_WEIGHTS is not None
-    return evaluate_candidate(_WORKER_PROBLEM, candidate, _WORKER_WEIGHTS)
+    return evaluate_candidate(
+        _WORKER_PROBLEM,
+        candidate,
+        _WORKER_WEIGHTS,
+        stage_cache=_WORKER_STAGE_CACHE,
+    )
 
 
 def default_worker_count() -> int:
@@ -68,6 +87,7 @@ class EvaluationPool:
         weights: CostWeights = CostWeights(),
         workers: Optional[int] = None,
         mode: str = "auto",
+        stage_caching: bool = True,
     ) -> None:
         if mode not in ("auto", "serial", "thread", "process"):
             raise ValueError(
@@ -80,6 +100,16 @@ class EvaluationPool:
             mode = "process" if self._workers > 1 else "serial"
         self._mode = mode
         self._executor: Optional[Executor] = None
+        # Incremental evaluation (cost.StageCache).  Serial and thread modes
+        # share this in-process cache (stages are pure, so thread races at
+        # worst recompute a stage); process mode ships the flag to the worker
+        # initialiser instead, giving each worker its own cache — and keeps
+        # no in-process cache at all, so ``stage_stats`` (None in that mode)
+        # never hides real caching activity.
+        self._stage_caching = bool(stage_caching)
+        self._stage_cache: Optional[StageCache] = (
+            StageCache() if self._stage_caching and self._mode != "process" else None
+        )
 
     @property
     def mode(self) -> str:
@@ -93,6 +123,20 @@ class EvaluationPool:
     def workers(self) -> int:
         return self._workers
 
+    @property
+    def stage_stats(self) -> Optional[StageStats]:
+        """Stage-cache counters of the in-process cache, when one exists.
+
+        Serial and thread modes report their shared cache.  Process mode
+        returns None: each worker owns a private cache in its own process,
+        the counters are deliberately not shipped back per batch, and no
+        in-process cache exists (small batches fall back to uncached serial
+        evaluation).
+        """
+        if self._stage_cache is None:
+            return None
+        return self._stage_cache.stats
+
     # -- lifecycle -----------------------------------------------------------
 
     def _ensure_executor(self) -> Executor:
@@ -101,7 +145,11 @@ class EvaluationPool:
                 self._executor = ProcessPoolExecutor(
                     max_workers=self._workers,
                     initializer=_initialise_worker,
-                    initargs=(self._problem.to_payload(), self._weights),
+                    initargs=(
+                        self._problem.to_payload(),
+                        self._weights,
+                        self._stage_caching,
+                    ),
                 )
             else:
                 self._executor = ThreadPoolExecutor(max_workers=self._workers)
@@ -124,7 +172,12 @@ class EvaluationPool:
         """Score a batch, in submission order."""
         if self._mode == "serial" or len(candidates) < 2:
             return [
-                evaluate_candidate(self._problem, candidate, self._weights)
+                evaluate_candidate(
+                    self._problem,
+                    candidate,
+                    self._weights,
+                    stage_cache=self._stage_cache,
+                )
                 for candidate in candidates
             ]
         executor = self._ensure_executor()
@@ -136,7 +189,10 @@ class EvaluationPool:
         return list(
             executor.map(
                 lambda candidate: evaluate_candidate(
-                    self._problem, candidate, self._weights
+                    self._problem,
+                    candidate,
+                    self._weights,
+                    stage_cache=self._stage_cache,
                 ),
                 candidates,
             )

@@ -36,8 +36,11 @@ from ..graph.communication import (
     expand_communications,
     message_id,
 )
+from ..graph.communication import ExpandedGraph
 from ..graph.cpg import ConditionalProcessGraph
+from ..graph.paths import AlternativePath
 from ..io.serialization import system_from_dict, system_to_dict
+from ..scheduling.priorities import PATH_LOCAL_PRIORITY_FUNCTIONS
 from .candidate import DEFAULT_PRIORITY_FUNCTION, Candidate
 
 
@@ -450,6 +453,87 @@ class ExplorationProblem:
             bus_policy=self._bus_policy,
         )
         return expanded.bus_assignment
+
+    # -- sub-fingerprints (incremental evaluation) ---------------------------
+
+    def expansion_key(
+        self,
+        candidate: Candidate,
+        pins: Optional[Dict[str, str]] = None,
+    ) -> Tuple:
+        """Everything communication expansion can observe, as a hashable key.
+
+        Expansion (and the path enumeration over its result) is a pure
+        function of the process-to-PE assignment (which edges cross
+        processors), the platform (which buses exist and how they connect)
+        and the *effective* bus pins; the graph, the derivation policy and
+        the base architecture are fixed per problem.  Pins are filtered
+        through :meth:`bus_assignment_for` first, so dormant or stale pins —
+        which expansion would ignore anyway — do not fragment the cache.
+        Callers that already hold the filtered pins may pass them to skip
+        the (per-candidate) refiltering; the empty dict means "no pins".
+        """
+        if pins is None:
+            pins = self.bus_assignment_for(candidate) or {}
+        return (
+            candidate.assignment,
+            candidate.platform,
+            tuple(sorted(pins.items())) if pins else (),
+        )
+
+    def path_schedule_key(
+        self,
+        candidate: Candidate,
+        path: AlternativePath,
+        expanded: ExpandedGraph,
+        expansion_key: Optional[Tuple] = None,
+    ) -> Tuple:
+        """The sub-fingerprint of one alternative path's optimal schedule.
+
+        Covers **everything** that can change the path's (lock-free) list
+        schedule, and nothing more, so a move that leaves this slice of the
+        design point untouched hits the cache however much it changed
+        elsewhere:
+
+        * the path identity (its label selects structure and guards);
+        * the placement of the path's ordinary processes
+          (:meth:`Candidate.assignment_slice` — durations and co-location,
+          hence which of the path's edges carry communication processes);
+        * the *realised* bus of each communication process on the path (from
+          the expanded mapping, so derivation-policy picks are covered, not
+          only explicit pins);
+        * the priority function and the path-restricted bias slice;
+        * the platform (broadcast buses, processor count and element speeds).
+
+        Priority functions outside
+        :data:`~repro.scheduling.PATH_LOCAL_PRIORITY_FUNCTIONS` (e.g.
+        ``static_order``, which ranks by whole-graph topological position)
+        additionally key on the full expansion, conservatively; callers
+        computing keys for several paths of one candidate may pass the
+        candidate's ``expansion_key`` once instead of having every path
+        recompute it.
+        """
+        active = set(path.active_processes)
+        mapping = expanded.mapping
+        communications = expanded.communications
+        buses = tuple(sorted(
+            (name, mapping[name].name)
+            for name in path.active_processes
+            if name in communications
+        ))
+        key: Tuple = (
+            path.label,
+            candidate.assignment_slice(active),
+            buses,
+            candidate.priority_function,
+            candidate.bias_slice(active),
+            candidate.platform,
+        )
+        if candidate.priority_function not in PATH_LOCAL_PRIORITY_FUNCTIONS:
+            if expansion_key is None:
+                expansion_key = self.expansion_key(candidate)
+            key = key + (expansion_key,)
+        return key
 
     # -- worker transport ----------------------------------------------------
 

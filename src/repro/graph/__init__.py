@@ -12,7 +12,11 @@ from .communication import (
     BUS_POLICIES,
     CommunicationInfo,
     ExpandedGraph,
+    ExpansionStructure,
+    assign_buses,
+    crossing_edges,
     expand_communications,
+    expansion_structure,
     is_expanded,
     message_id,
 )
@@ -36,15 +40,19 @@ __all__ = [
     "ConditionalProcessGraph",
     "Edge",
     "ExpandedGraph",
+    "ExpansionStructure",
     "GraphStructureError",
     "PathEnumerator",
     "Process",
     "ProcessKind",
+    "assign_buses",
     "build_chain_graph",
     "communication_process",
     "count_paths",
+    "crossing_edges",
     "enumerate_paths",
     "expand_communications",
+    "expansion_structure",
     "is_expanded",
     "message_id",
     "ordinary_process",

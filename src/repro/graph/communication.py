@@ -82,6 +82,13 @@ class ExpandedGraph:
     graph: ConditionalProcessGraph
     mapping: Mapping
     communications: Dict[str, CommunicationInfo]
+    #: Accumulated communication load per bus (bus name -> total duration of
+    #: the communication processes it carries, bus-speed scaled).  Computed
+    #: once while the expansion assigns buses — the ``least_loaded`` policy
+    #: already maintains these sums — so consumers (the explorer's
+    #: ``bus_imbalance`` objective) need not rescan every communication.
+    #: Buses that carry nothing have no entry.
+    bus_loads: Dict[str, float] = field(default_factory=dict)
     #: (src, dst) -> info index, built at construction so per-edge lookups are
     #: one dict probe instead of a scan over every communication.
     _by_endpoints: Dict[Tuple[str, str], CommunicationInfo] = field(
@@ -93,6 +100,16 @@ class ExpandedGraph:
             (info.src, info.dst): info for info in self.communications.values()
         }
         object.__setattr__(self, "_by_endpoints", index)
+        if not self.bus_loads and self.communications:
+            # Derive the loads for directly constructed instances (the
+            # pre-bus_loads construction form), so consumers reading
+            # ``bus_loads`` never silently see an all-idle platform.
+            loads: Dict[str, float] = {}
+            for info in self.communications.values():
+                loads[info.bus.name] = loads.get(info.bus.name, 0.0) + self.graph[
+                    info.name
+                ].duration_on(info.bus)
+            object.__setattr__(self, "bus_loads", loads)
 
     def communication_between(self, src: str, dst: str) -> Optional[CommunicationInfo]:
         """Return the communication process inserted between two processes, if any."""
@@ -110,6 +127,140 @@ class ExpandedGraph:
         return {
             info.message: info.bus.name for info in self.communications.values()
         }
+
+
+@dataclass(frozen=True)
+class ExpansionStructure:
+    """The mapping-independent half of a communication expansion.
+
+    The *structure* of an expanded graph — which communication processes
+    exist, their names, durations and edges — depends only on the set of
+    process-level edges that cross processors, never on *which* processors
+    (or buses) are involved.  :func:`expansion_structure` builds it from that
+    crossing set alone, so the design-space explorer can reuse one structure
+    (and everything cached on its graph: guards, topological order, path
+    enumeration) across every candidate mapping with the same co-location
+    pattern, rebuilding only the cheap bus-assignment layer
+    (:func:`assign_buses`) per candidate.
+    """
+
+    #: The expanded conditional process graph (communication processes
+    #: inserted, no bus assignment yet — that lives in the mapping).
+    graph: ConditionalProcessGraph
+    #: One ``(communication process name, src, dst, communication time)`` per
+    #: crossing edge, in graph edge order (the order expansion assigns buses).
+    comm_edges: Tuple[Tuple[str, str, str, float], ...]
+
+
+def crossing_edges(
+    graph: ConditionalProcessGraph, mapping: Mapping
+) -> Tuple[Tuple[str, str], ...]:
+    """The process-level edges whose endpoints sit on different processors.
+
+    Dummy endpoints never cross (dummies are unmapped).  The tuple is in
+    graph edge order, so equal co-location patterns produce equal tuples —
+    it is the cache key of :func:`expansion_structure` reuse.  Unmapped
+    ordinary endpoints raise :class:`~repro.architecture.MappingError`.
+    """
+    crossing = []
+    for edge in graph.edges:
+        if graph[edge.src].is_dummy or graph[edge.dst].is_dummy:
+            continue
+        if mapping[edge.src] != mapping[edge.dst]:
+            crossing.append((edge.src, edge.dst))
+    return tuple(crossing)
+
+
+def expansion_structure(
+    graph: ConditionalProcessGraph,
+    crossing: Tuple[Tuple[str, str], ...],
+    name_format: str = "{src}_to_{dst}",
+) -> ExpansionStructure:
+    """Insert communication processes for the given crossing edges.
+
+    The mapping-independent half of :func:`expand_communications`: builds the
+    expanded graph and records the inserted communications, leaving the bus
+    choice (and hence the extended mapping) to :func:`assign_buses`.
+    """
+    expanded = ConditionalProcessGraph(f"{graph.name}-expanded")
+    comm_edges = []
+    for process in graph.processes:
+        expanded.add_process(process)
+    crossing_set = set(crossing)
+    for edge in graph.edges:
+        if (edge.src, edge.dst) not in crossing_set:
+            expanded.add_edge(edge)
+            continue
+        comm_name = name_format.format(src=edge.src, dst=edge.dst)
+        if comm_name in expanded:
+            raise GraphStructureError(
+                f"communication process name collision: {comm_name!r}"
+            )
+        comm = communication_process(comm_name, edge.communication_time)
+        expanded.add_process(comm)
+        # The condition of the original edge guards the transfer itself, so it
+        # is carried by the edge *into* the communication process; the edge
+        # from the communication process to the consumer is simple.
+        expanded.add_edge(Edge(edge.src, comm_name, edge.condition))
+        expanded.add_edge(Edge(comm_name, edge.dst))
+        comm_edges.append((comm_name, edge.src, edge.dst, edge.communication_time))
+    return ExpansionStructure(expanded, tuple(comm_edges))
+
+
+def assign_buses(
+    structure: ExpansionStructure,
+    mapping: Mapping,
+    architecture: Optional[Architecture] = None,
+    bus_assignment: Optional[TMapping[MessageKey, BusLike]] = None,
+    bus_policy: str = "least_index",
+) -> ExpandedGraph:
+    """Assign a bus to every communication process of a structure.
+
+    The per-candidate half of :func:`expand_communications`: validates
+    explicit pins, applies the derivation policy to the rest, extends the
+    mapping and accumulates the per-bus loads.  The structure's graph is
+    *shared* by the returned :class:`ExpandedGraph` (it is read-only for
+    every consumer), which is what makes reuse across mappings cheap.
+    """
+    if bus_policy not in BUS_POLICIES:
+        raise ValueError(
+            f"unknown bus policy {bus_policy!r}; choose from {BUS_POLICIES}"
+        )
+    architecture = architecture or mapping.architecture
+    new_mapping = mapping.copy()
+    communications: Dict[str, CommunicationInfo] = {}
+    bus_loads: Dict[str, float] = {}
+    graph = structure.graph
+    for comm_name, src, dst, communication_time in structure.comm_edges:
+        src_pe = mapping[src]
+        dst_pe = mapping[dst]
+        message = message_id(src, dst)
+        assigned: Optional[BusLike] = None
+        if bus_assignment:
+            assigned = bus_assignment.get(message)
+            if assigned is None:
+                assigned = bus_assignment.get((src, dst))
+        if assigned is not None:
+            chosen_bus = _resolve_assigned_bus(
+                architecture, src, dst, src_pe, dst_pe, assigned
+            )
+        else:
+            chosen_bus = _select_bus(
+                architecture, src_pe, dst_pe, bus_policy, bus_loads
+            )
+        bus_loads[chosen_bus.name] = bus_loads.get(
+            chosen_bus.name, 0.0
+        ) + graph[comm_name].duration_on(chosen_bus)
+        new_mapping.assign(comm_name, chosen_bus)
+        communications[comm_name] = CommunicationInfo(
+            name=comm_name,
+            src=src,
+            dst=dst,
+            bus=chosen_bus,
+            communication_time=communication_time,
+            message=message,
+        )
+    return ExpandedGraph(graph, new_mapping, communications, bus_loads)
 
 
 def _resolve_assigned_bus(
@@ -212,72 +363,19 @@ def expand_communications(
     ExpandedGraph
         The expanded graph, the extended mapping and per-communication info.
     """
-    if bus_policy not in BUS_POLICIES:
-        raise ValueError(
-            f"unknown bus policy {bus_policy!r}; choose from {BUS_POLICIES}"
-        )
-    architecture = architecture or mapping.architecture
-    expanded = ConditionalProcessGraph(f"{graph.name}-expanded")
-    new_mapping = mapping.copy()
-    communications: Dict[str, CommunicationInfo] = {}
-    bus_loads: Dict[str, float] = {}
-
     for process in graph.processes:
-        expanded.add_process(process)
         if process.is_ordinary and process.name not in mapping:
             raise MappingError(f"ordinary process {process.name!r} is not mapped")
-
-    for edge in graph.edges:
-        src_process = graph[edge.src]
-        dst_process = graph[edge.dst]
-        if src_process.is_dummy or dst_process.is_dummy:
-            expanded.add_edge(edge)
-            continue
-        src_pe = mapping[edge.src]
-        dst_pe = mapping[edge.dst]
-        if src_pe == dst_pe:
-            expanded.add_edge(edge)
-            continue
-        comm_name = name_format.format(src=edge.src, dst=edge.dst)
-        if comm_name in expanded:
-            raise GraphStructureError(
-                f"communication process name collision: {comm_name!r}"
-            )
-        comm = communication_process(comm_name, edge.communication_time)
-        expanded.add_process(comm)
-        # The condition of the original edge guards the transfer itself, so it
-        # is carried by the edge *into* the communication process; the edge
-        # from the communication process to the consumer is simple.
-        expanded.add_edge(Edge(edge.src, comm_name, edge.condition))
-        expanded.add_edge(Edge(comm_name, edge.dst))
-        message = message_id(edge.src, edge.dst)
-        assigned: Optional[BusLike] = None
-        if bus_assignment:
-            assigned = bus_assignment.get(message)
-            if assigned is None:
-                assigned = bus_assignment.get((edge.src, edge.dst))
-        if assigned is not None:
-            chosen_bus = _resolve_assigned_bus(
-                architecture, edge.src, edge.dst, src_pe, dst_pe, assigned
-            )
-        else:
-            chosen_bus = _select_bus(
-                architecture, src_pe, dst_pe, bus_policy, bus_loads
-            )
-        bus_loads[chosen_bus.name] = bus_loads.get(
-            chosen_bus.name, 0.0
-        ) + comm.duration_on(chosen_bus)
-        new_mapping.assign(comm_name, chosen_bus)
-        communications[comm_name] = CommunicationInfo(
-            name=comm_name,
-            src=edge.src,
-            dst=edge.dst,
-            bus=chosen_bus,
-            communication_time=edge.communication_time,
-            message=message,
-        )
-
-    return ExpandedGraph(expanded, new_mapping, communications)
+    structure = expansion_structure(
+        graph, crossing_edges(graph, mapping), name_format
+    )
+    return assign_buses(
+        structure,
+        mapping,
+        architecture or mapping.architecture,
+        bus_assignment=bus_assignment,
+        bus_policy=bus_policy,
+    )
 
 
 def is_expanded(graph: ConditionalProcessGraph, mapping: Mapping) -> bool:

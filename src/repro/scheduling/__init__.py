@@ -11,6 +11,7 @@ The package contains the two halves of the paper's scheduling strategy:
 from .list_scheduler import PathListScheduler, SchedulingError
 from .merging import MergeConflictError, MergeResult, ScheduleMerger, merge_schedules
 from .priorities import (
+    PATH_LOCAL_PRIORITY_FUNCTIONS,
     PRIORITY_FUNCTIONS,
     PriorityFunction,
     critical_path_priorities,
@@ -28,6 +29,7 @@ __all__ = [
     "MergeConflictError",
     "MergeResult",
     "MergeTrace",
+    "PATH_LOCAL_PRIORITY_FUNCTIONS",
     "PRIORITY_FUNCTIONS",
     "PathListScheduler",
     "PathSchedule",

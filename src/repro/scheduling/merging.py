@@ -23,6 +23,7 @@ progressively fills the schedule table:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -49,6 +50,65 @@ class MergeConflictError(RuntimeError):
     """Raised when a table conflict cannot be resolved (should not happen)."""
 
 
+class _SegmentColumns:
+    """Per-segment memo of the "conditions known on PE ``p`` at ``t``" columns.
+
+    Within one placement walk the known assignment and the current schedule
+    are fixed, so per processing element the knowledge times of the known
+    conditions form one sorted timeline.  A column query then binary-searches
+    that timeline and returns a prefix-OR mask pair instead of re-folding
+    every known condition per placed item (the masks are cumulative, so ties
+    in knowledge time OR together regardless of order — exactly what the
+    per-condition loop produced).
+    """
+
+    __slots__ = ("_known", "_current", "_by_pe")
+
+    def __init__(
+        self, known: Dict[Condition, bool], current: PathSchedule
+    ) -> None:
+        self._known = known
+        self._current = current
+        self._by_pe: Dict[Optional[str], Tuple[List[float], List[Tuple[int, int]], Dict[int, Conjunction]]] = {}
+
+    def _timeline(
+        self, pe: Optional[ProcessingElement]
+    ) -> Tuple[List[float], List[Tuple[int, int]], Dict[int, Conjunction]]:
+        key = pe.name if pe is not None else None
+        entry = self._by_pe.get(key)
+        if entry is None:
+            bit_of = DEFAULT_UNIVERSE.bit_of
+            events = []
+            for condition, value in self._known.items():
+                if condition not in self._current.determination_times:
+                    continue
+                time = self._current.condition_known_time(condition, pe)
+                bit = bit_of(condition)
+                events.append((time, bit if value else 0, 0 if value else bit))
+            events.sort(key=lambda event: event[0])
+            times = [event[0] for event in events]
+            masks: List[Tuple[int, int]] = []
+            pos = neg = 0
+            for _, pos_bit, neg_bit in events:
+                pos |= pos_bit
+                neg |= neg_bit
+                masks.append((pos, neg))
+            entry = (times, masks, {})
+            self._by_pe[key] = entry
+        return entry
+
+    def column(self, pe: Optional[ProcessingElement], start: float) -> Conjunction:
+        """Conjunction of the condition values known on ``pe`` at ``start``."""
+        times, masks, cache = self._timeline(pe)
+        index = bisect_right(times, start + _EPSILON)
+        column = cache.get(index)
+        if column is None:
+            pos, neg = masks[index - 1] if index else (0, 0)
+            column = Conjunction.from_masks(pos, neg)
+            cache[index] = column
+        return column
+
+
 @dataclass
 class MergeResult:
     """Everything produced by one run of the schedule merger."""
@@ -59,6 +119,11 @@ class MergeResult:
     delta_m: float
     delta_max: float
     paths: List[AlternativePath] = field(default_factory=list)
+    #: Completion time of every alternative path executed from the table,
+    #: keyed by path label.  ``delta_max`` is their maximum; keeping the whole
+    #: map lets consumers (the explorer's mean-path-delay objective) reuse the
+    #: per-path table walks the merger already paid for.
+    table_path_delays: Dict[Conjunction, float] = field(default_factory=dict)
 
     @property
     def delay_increase(self) -> float:
@@ -126,7 +191,11 @@ class ScheduleMerger:
         self._trace.root = root
 
         delta_m = max(sched.delay for sched in self._optimal.values())
-        delta_max = self._table.worst_case_delay(self._graph, self._mapping, self._paths)
+        table_path_delays = {
+            path.label: self._table.delay_of_path(self._graph, self._mapping, path)
+            for path in self._paths
+        }
+        delta_max = max(table_path_delays.values())
         return MergeResult(
             table=self._table,
             path_schedules=dict(self._optimal),
@@ -134,6 +203,7 @@ class ScheduleMerger:
             delta_m=delta_m,
             delta_max=delta_max,
             paths=list(self._paths),
+            table_path_delays=table_path_delays,
         )
 
     # -- decision-tree exploration ------------------------------------------------------
@@ -144,6 +214,7 @@ class ScheduleMerger:
         current: PathSchedule,
         back_step: bool,
         depth: int,
+        start_item: int = 0,
     ) -> DecisionNode:
         node = DecisionNode(
             known=Conjunction.from_assignment(known),
@@ -153,13 +224,19 @@ class ScheduleMerger:
         )
         # Placement of activation times, restarted whenever conflict handling
         # re-adjusts the current schedule (which may move later activities).
+        # ``start_item`` skips the prefix of the item list an ancestor node
+        # already settled for this branch: along one branch the known masks
+        # only grow and table entries are only added, so an item placed or
+        # found applicable at the parent stays settled in every descendant.
+        resume = start_item
         for _ in range(len(current.tasks) + len(current.broadcasts) + 2):
             branch_condition, branch_time = self._next_branch(known, current)
-            modified, current = self._place_segment(
-                known, current, branch_time, node
+            modified, current, resume = self._place_segment(
+                known, current, branch_time, node, start_item
             )
             if not modified:
                 break
+            start_item = 0  # the schedule was re-adjusted: fresh item list
         else:
             raise MergeConflictError(
                 "conflict handling failed to converge while merging schedules"
@@ -171,10 +248,14 @@ class ScheduleMerger:
             return node
 
         # First branch (no back-step): the value taken by the current path.
+        # The child continues with the same schedule (same item list), so it
+        # resumes the placement walk where this node settled it.
         value = current.path.assignment[branch_condition]
         same_known = dict(known)
         same_known[branch_condition] = value
-        node.children.append(self._explore(same_known, current, False, depth + 1))
+        node.children.append(
+            self._explore(same_known, current, False, depth + 1, resume)
+        )
 
         # Back-step: the opposite value; select the reachable path with the
         # largest delay and adjust its schedule to the already fixed times.
@@ -217,28 +298,43 @@ class ScheduleMerger:
         current: PathSchedule,
         branch_time: float,
         node: DecisionNode,
-    ) -> Tuple[bool, PathSchedule]:
+        start_index: int = 0,
+    ) -> Tuple[bool, PathSchedule, int]:
         """Place activation times with start < branch_time into the table.
 
-        Returns ``(True, new_schedule)`` when conflict handling modified the
-        current schedule (the caller restarts the walk), ``(False, schedule)``
-        otherwise.
+        Returns ``(True, new_schedule, 0)`` when conflict handling modified
+        the current schedule (the caller restarts the walk on the fresh item
+        list), ``(False, schedule, settled)`` otherwise, where ``settled`` is
+        the length of the leading item prefix now conclusively handled for
+        this branch — placed, already applicable, or a dummy.  Descendant
+        nodes resume the walk there; a broadcast deferred because its
+        condition is not yet known (it is placed in a deeper segment) stops
+        the settled prefix from advancing past it.
         """
         known_pos, known_neg = masks_from_assignment(known)
-        for item in current.all_items_in_order():
+        items = current.all_items_in_order()
+        columns = _SegmentColumns(known, current)
+        settled = start_index
+        conclusive = True
+        for index in range(start_index, len(items)):
+            item = items[index]
             if item.start >= branch_time - _EPSILON:
                 break
             if item.is_broadcast:
-                modified, current = self._place_broadcast(
+                modified, current, done = self._place_broadcast(
                     item, known, known_pos, known_neg, current
                 )
             else:
-                modified, current = self._place_process(
-                    item, known, known_pos, known_neg, current, node
+                modified, current, done = self._place_process(
+                    item, known, known_pos, known_neg, current, node, columns
                 )
             if modified:
-                return True, current
-        return False, current
+                return True, current, 0
+            if conclusive and done:
+                settled = index + 1
+            else:
+                conclusive = False
+        return False, current, settled
 
     def _place_process(
         self,
@@ -248,22 +344,23 @@ class ScheduleMerger:
         known_neg: int,
         current: PathSchedule,
         node: DecisionNode,
-    ) -> Tuple[bool, PathSchedule]:
+        columns: _SegmentColumns,
+    ) -> Tuple[bool, PathSchedule, bool]:
         name = task.name
         if self._graph[name].is_dummy:
-            return False, current
+            return False, current, True
         if self._table.applicable_process_entry(name, known_pos, known_neg) is not None:
-            return False, current
+            return False, current, True
         pe = self._mapping.get(name)
-        column = self._column_for(pe, task.start, known, current)
+        column = columns.column(pe, task.start)
         conflicts = self._table.conflicting_process_entries(name, column, task.start)
         if not conflicts:
             self._table.add_process_entry(name, column, task.start, pe)
-            return False, current
+            return False, current, True
         node.conflicts_resolved += 1
         self._trace.conflicts_resolved += 1
         new_current = self._resolve_process_conflict(name, conflicts, known, current)
-        return True, new_current
+        return True, new_current, False
 
     def _place_broadcast(
         self,
@@ -272,18 +369,19 @@ class ScheduleMerger:
         known_pos: int,
         known_neg: int,
         current: PathSchedule,
-    ) -> Tuple[bool, PathSchedule]:
+    ) -> Tuple[bool, PathSchedule, bool]:
         condition = task.condition
         assert condition is not None
         if condition not in known:
             # The broadcast of the condition about to be branched on is placed
-            # in the deeper segments, once the condition is part of ``known``.
-            return False, current
+            # in the deeper segments, once the condition is part of ``known``
+            # — not settled: descendants must revisit this item.
+            return False, current, False
         if (
             self._table.applicable_condition_entry(condition, known_pos, known_neg)
             is not None
         ):
-            return False, current
+            return False, current, True
         column = self._column_for(
             task.pe, task.start, known, current, exclude=condition
         )
@@ -292,7 +390,7 @@ class ScheduleMerger:
         )
         if not conflicts:
             self._table.add_condition_entry(condition, column, task.start, task.pe)
-            return False, current
+            return False, current, True
         # Move the broadcast to the previously fixed time (Theorem 2 applied to
         # the broadcast row) and re-adjust the current schedule around it.
         self._trace.conflicts_resolved += 1
@@ -303,7 +401,7 @@ class ScheduleMerger:
         new_current = self._readjust(
             current, extra_locked_broadcasts={condition: forced}
         )
-        return True, new_current
+        return True, new_current, False
 
     # -- columns, locks and conflicts --------------------------------------------------
 

@@ -111,6 +111,22 @@ PRIORITY_FUNCTIONS: Dict[str, PriorityFunction] = {
     "static_order": topological_order_priorities,
 }
 
+#: Registered priority functions whose output for one alternative path depends
+#: only on *path-local* state: the path's active processes, their durations on
+#: their mapped processing elements and the path-restricted edge structure.
+#: ``critical_path`` and ``upward_rank`` qualify — they walk only the active
+#: subgraph.  ``static_order`` does **not**: it ranks processes by their
+#: position in the topological order of the *whole* expanded graph, so a
+#: change anywhere in the graph (e.g. a communication process appearing on an
+#: unrelated edge) may shift its priorities.  The explorer's incremental
+#: evaluator uses this set to decide whether a memoized per-path schedule can
+#: be keyed on the path's sub-fingerprint alone or must also be keyed on the
+#: whole expansion; unregistered (user-supplied) functions are conservatively
+#: treated as non-local.
+PATH_LOCAL_PRIORITY_FUNCTIONS: frozenset = frozenset(
+    {"critical_path", "upward_rank"}
+)
+
 
 def priority_function(name: str) -> PriorityFunction:
     """Look up a registered priority function by name."""
