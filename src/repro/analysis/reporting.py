@@ -145,9 +145,12 @@ def format_exploration_comparison(
     """Side-by-side summary of several exploration runs (one row per engine).
 
     ``results`` duck-types :class:`repro.exploration.ExplorationResult`.  The
-    final column reports the incremental evaluator's per-path schedule cache
-    (``hits/probes``, see :class:`repro.exploration.StageStats`); runs without
-    stage counters (staged evaluation off, process-mode pool) show ``-``.
+    ``sched hits`` column reports the incremental evaluator's per-path schedule
+    cache (``hits/probes``, see :class:`repro.exploration.StageStats`); runs
+    without stage counters (staged evaluation off, process-mode pool) show
+    ``-``.  The ``faults`` column summarises the resilience counters as
+    ``r<retries> w<worker restarts> q<quarantined>`` (plus ``DEGRADED`` when
+    the pool fell back to in-process evaluation); unarmed runs show ``-``.
     """
     rows = []
     for result in results:
@@ -157,6 +160,16 @@ def format_exploration_comparison(
             stage_cell = f"{stages.schedule_hits}/{probes}"
         else:
             stage_cell = "-"
+        resilience = getattr(result, "resilience", None)
+        if resilience is not None:
+            fault_cell = (
+                f"r{resilience.retries} w{resilience.worker_restarts}"
+                f" q{resilience.quarantined}"
+            )
+            if resilience.degraded:
+                fault_cell += " DEGRADED"
+        else:
+            fault_cell = "-"
         rows.append([
             result.engine,
             result.initial.delta_max,
@@ -166,10 +179,11 @@ def format_exploration_comparison(
             result.evaluations,
             result.cache.hits,
             stage_cell,
+            fault_cell,
         ])
     return format_table(
         title,
         ["engine", "seed dmax", "best dmax", "gain", "cycles", "evals",
-         "cache hits", "sched hits"],
+         "cache hits", "sched hits", "faults"],
         rows,
     )

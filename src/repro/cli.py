@@ -52,17 +52,24 @@ from .analysis import (
     format_trajectory,
 )
 from .data import load_fig1_example
+from .architecture.architecture import ArchitectureError
+from .architecture.mapping import MappingError
 from .exploration import (
     ArchitectureBounds,
+    CheckpointError,
     ExplorationConfig,
     ExplorationProblem,
     EvaluationPool,
     Explorer,
+    FaultInjector,
     OBJECTIVE_NAMES,
+    RetryPolicy,
+    WorkerInitializationError,
 )
 from .generator import RandomSystemGenerator, generate_system, paper_experiment_configs
 from .graph import PathEnumerator
-from .io import load_system
+from .graph.cpg import GraphStructureError
+from .io import SerializationError, load_system
 from .scheduling import ScheduleMerger
 from .simulation import validate_merge_result
 
@@ -203,6 +210,54 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="evaluation-pool workers (>1 scores neighbour batches in parallel)",
+    )
+    explore.add_argument(
+        "--retries", type=int, default=None,
+        help="resilience: attributable failures per candidate before it is "
+        "quarantined with an infeasible sentinel cost (default 3 once the "
+        "resilient path is armed)",
+    )
+    explore.add_argument(
+        "--eval-timeout", type=float, default=None,
+        help="resilience: per-candidate evaluation timeout in seconds for "
+        "pooled execution (hung workers are restarted; default: no timeout)",
+    )
+    explore.add_argument(
+        "--fault-crash-rate", type=float, default=0.0,
+        help="fault injection: probability an evaluation attempt raises",
+    )
+    explore.add_argument(
+        "--fault-hang-rate", type=float, default=0.0,
+        help="fault injection: probability an evaluation attempt hangs "
+        "(for --fault-hang-seconds)",
+    )
+    explore.add_argument(
+        "--fault-exit-rate", type=float, default=0.0,
+        help="fault injection: probability a worker process dies abruptly",
+    )
+    explore.add_argument(
+        "--fault-hang-seconds", type=float, default=0.5,
+        help="fault injection: duration of an injected hang",
+    )
+    explore.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault injection: decision seed (default: --seed); decisions "
+        "hash (seed, candidate, attempt), so results stay bit-identical "
+        "to the fault-free run",
+    )
+    explore.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a versioned JSON checkpoint of the full engine state "
+        "every --checkpoint-every cycles (single engine only)",
+    )
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint if it exists (continues "
+        "bit-identically; a missing file starts from scratch)",
+    )
+    explore.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="cycle period of checkpoint writes (default: every cycle)",
     )
     explore.add_argument(
         "--trajectory", action="store_true", help="print the full trajectory"
@@ -413,6 +468,20 @@ def _explore_result_dict(result, include_front: bool = False, problem=None) -> d
             if result.stages is not None
             else None
         ),
+        "resilience": (
+            {
+                "retries": result.resilience.retries,
+                "timeouts": result.resilience.timeouts,
+                "worker_restarts": result.resilience.worker_restarts,
+                "quarantined": result.resilience.quarantined,
+                "injected": result.resilience.injected,
+                "integrity_evictions": result.resilience.integrity_evictions,
+                "degraded": result.resilience.degraded,
+            }
+            if result.resilience is not None
+            else None
+        ),
+        "resumed_from": result.resumed_from,
         "trajectory": [
             {
                 "cycle": point.cycle,
@@ -507,14 +576,68 @@ def _command_explore(arguments) -> int:
         stall_cycles=arguments.stall,
         population_size=arguments.population,
         track_front=arguments.pareto,
+        checkpoint_every=arguments.checkpoint_every,
     )
+    engines = _ENGINE_CHOICES.get(arguments.engine, [arguments.engine])
+    if arguments.checkpoint is not None and len(engines) > 1:
+        print(
+            "error: --checkpoint records the state of one engine; "
+            f"--engine {arguments.engine} runs several (pick one engine)",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.resume and arguments.checkpoint is None:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+
+    injector = None
+    if (
+        arguments.fault_crash_rate > 0
+        or arguments.fault_hang_rate > 0
+        or arguments.fault_exit_rate > 0
+    ):
+        injector = FaultInjector(
+            seed=(
+                arguments.fault_seed
+                if arguments.fault_seed is not None
+                else arguments.seed
+            ),
+            crash_rate=arguments.fault_crash_rate,
+            hang_rate=arguments.fault_hang_rate,
+            exit_rate=arguments.fault_exit_rate,
+            hang_seconds=arguments.fault_hang_seconds,
+        )
+    retry = None
+    if arguments.retries is not None or arguments.eval_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=(
+                arguments.retries if arguments.retries is not None else 3
+            ),
+            timeout=arguments.eval_timeout,
+        )
+    elif injector is not None:
+        # Faults without an explicit policy still need bounded retries.
+        retry = RetryPolicy()
+
     pool = None
-    if arguments.workers > 1:
-        pool = EvaluationPool(problem, config.weights, workers=arguments.workers)
+    if arguments.workers > 1 or injector is not None or retry is not None:
+        pool = EvaluationPool(
+            problem,
+            config.weights,
+            workers=arguments.workers,
+            retry=retry,
+            fault_injector=injector,
+        )
     try:
         explorer = Explorer(problem, config=config, pool=pool)
-        engines = _ENGINE_CHOICES.get(arguments.engine, [arguments.engine])
-        results = [explorer.explore(engine) for engine in engines]
+        results = [
+            explorer.explore(
+                engine,
+                checkpoint=arguments.checkpoint,
+                resume=arguments.resume,
+            )
+            for engine in engines
+        ]
     finally:
         if pool is not None:
             pool.close()
@@ -544,6 +667,9 @@ def _command_explore(arguments) -> int:
     print(f"  processes {len(problem.movable_processes)}, "
           f"processors {len(problem.processor_names)}, "
           f"workers {pool.workers if pool else 1}")
+    if arguments.checkpoint is not None:
+        print(f"  checkpoint {arguments.checkpoint} "
+              f"(every {config.checkpoint_every} cycle(s))")
     for result in results:
         if not result.initial.feasible:
             seed_text = "infeasible"
@@ -572,6 +698,18 @@ def _command_explore(arguments) -> int:
                   f"path schedules {stages.schedule_hits}/"
                   f"{stages.schedule_hits + stages.schedule_misses} hits "
                   f"({100.0 * stages.schedule_hit_rate:.0f}%)")
+        if result.resumed_from is not None:
+            print(f"         resumed from checkpoint at cycle "
+                  f"{result.resumed_from}")
+        if result.resilience is not None and result.resilience.eventful:
+            stats = result.resilience
+            line = (f"         resilience: retries {stats.retries}, "
+                    f"timeouts {stats.timeouts}, "
+                    f"worker restarts {stats.worker_restarts}, "
+                    f"quarantined {stats.quarantined}")
+            if stats.degraded:
+                line += " (degraded to in-process evaluation)"
+            print(line)
         if arguments.map_communications and result.best.feasible:
             realised = problem.communications_for(result.best_candidate)
             per_bus = Counter(realised.values())
@@ -595,9 +733,7 @@ def _command_explore(arguments) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of the ``repro-cpg`` console script."""
-    arguments = _build_parser().parse_args(argv)
+def _dispatch(arguments) -> int:
     if arguments.command == "info":
         return _command_info(arguments.system)
     if arguments.command == "schedule":
@@ -613,6 +749,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "explore":
         return _command_explore(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-cpg`` console script.
+
+    User-input problems — an unreadable or malformed system description, an
+    invalid model, a foreign checkpoint, workers that cannot start — are
+    reported as one actionable ``error:`` line on stderr with exit status 2
+    instead of a traceback.
+    """
+    arguments = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(arguments)
+    except FileNotFoundError as error:
+        name = error.filename or error
+        print(f"error: {name}: no such file", file=sys.stderr)
+        return 2
+    except SerializationError as error:
+        print(f"error: invalid system description: {error}", file=sys.stderr)
+        return 2
+    except (GraphStructureError, ArchitectureError, MappingError) as error:
+        print(f"error: invalid system: {error}", file=sys.stderr)
+        return 2
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except WorkerInitializationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -25,7 +25,13 @@ repository's schedule merger as the evaluator:
   ``(delta_max, mean_path_delay, load_imbalance, architecture_cost,
   bus_imbalance)``;
 * :class:`EvaluationPool` — batched neighbour/generation scoring on
-  ``concurrent.futures`` worker processes.
+  ``concurrent.futures`` worker processes, resilient to worker crashes,
+  hangs and abrupt exits (:class:`RetryPolicy`, :class:`FaultInjector`,
+  quarantine of poison candidates, graceful degrade to in-process
+  evaluation);
+* :class:`Checkpointer` / :func:`load_checkpoint` — versioned JSON
+  checkpoints every engine writes periodically and resumes from
+  bit-identically (``Explorer.explore(..., checkpoint=..., resume=True)``).
 
 Quick start::
 
@@ -87,13 +93,29 @@ from .pareto import (
 )
 from .pool import EvaluationPool, default_worker_count
 from .problem import ArchitectureBounds, ExplorationProblem
+from .resilience import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    CheckpointError,
+    FaultInjector,
+    InjectedFault,
+    ResilienceStats,
+    RetryPolicy,
+    WorkerInitializationError,
+    load_checkpoint,
+    quarantined_evaluation,
+    validate_checkpoint,
+)
 
 __all__ = [
     "ArchitectureBounds",
+    "CHECKPOINT_VERSION",
     "CacheStats",
     "CachedEvaluator",
     "Candidate",
     "CandidateEvaluation",
+    "CheckpointError",
+    "Checkpointer",
     "CostWeights",
     "ENGINES",
     "EvaluationPool",
@@ -101,13 +123,17 @@ __all__ = [
     "ExplorationProblem",
     "ExplorationResult",
     "Explorer",
+    "FaultInjector",
     "GeneticEngine",
+    "InjectedFault",
     "MaxCycles",
     "Move",
     "NeighborhoodSampler",
     "OBJECTIVE_NAMES",
     "ParetoFront",
     "ParetoPoint",
+    "ResilienceStats",
+    "RetryPolicy",
     "SearchState",
     "SimulatedAnnealingEngine",
     "StageCache",
@@ -117,6 +143,7 @@ __all__ = [
     "TabuSearchEngine",
     "TargetCost",
     "TrajectoryPoint",
+    "WorkerInitializationError",
     "architecture_cost_of",
     "bus_imbalance_of",
     "crowding_distances",
@@ -124,6 +151,9 @@ __all__ = [
     "dominates",
     "evaluate_candidate",
     "load_imbalance_of",
+    "load_checkpoint",
     "merge_candidate",
     "non_dominated_sort",
+    "quarantined_evaluation",
+    "validate_checkpoint",
 ]

@@ -79,6 +79,9 @@ class StageStats:
     structure_hits: int = 0
     structure_misses: int = 0
     structures: int = 0
+    #: Entries evicted by :meth:`StageCache.check_integrity` because their
+    #: memoized value no longer matched its sub-fingerprint key.
+    integrity_evictions: int = 0
 
     @property
     def expansion_hit_rate(self) -> float:
@@ -141,6 +144,7 @@ class StageCache:
         "structure_misses",
         "schedule_hits",
         "schedule_misses",
+        "integrity_evictions",
     )
 
     def __init__(self) -> None:
@@ -171,6 +175,7 @@ class StageCache:
         self.structure_misses = 0
         self.schedule_hits = 0
         self.schedule_misses = 0
+        self.integrity_evictions = 0
 
     @property
     def stats(self) -> StageStats:
@@ -185,6 +190,7 @@ class StageCache:
             structure_hits=self.structure_hits,
             structure_misses=self.structure_misses,
             structures=len(self._structures),
+            integrity_evictions=self.integrity_evictions,
         )
 
     # -- stage probes (used by merge_candidate) ------------------------------
@@ -279,6 +285,55 @@ class StageCache:
     def store_schedule(self, key: Tuple, schedule: PathSchedule) -> None:
         """Record a freshly computed per-path schedule."""
         self._schedules[key] = schedule
+
+    def check_integrity(self) -> int:
+        """Verify memoized stages against their keys; evict mismatches.
+
+        A stage cache is trusted verbatim on every hit, so an entry whose
+        value drifted from its sub-fingerprint key (a torn write from an
+        abandoned thread, an in-place mutation by a buggy caller) would
+        silently poison every later evaluation that shares the stage.  This
+        re-derives the cheap half of each key from the memoized value itself:
+
+        * an expansion entry must map every assigned process to the key's
+          processing element and realise every pinned message on its pinned
+          bus;
+        * a schedule entry must belong to the alternative path its interned
+          sub-fingerprint names (the key's first element is the path label).
+
+        Mismatched entries are evicted (self-healing: the next probe simply
+        recomputes the stage) and counted in ``integrity_evictions``.
+        Called by the evaluation pool after worker respawns and on degrade;
+        cheap enough to invoke ad hoc, so it is not on any hot path.
+        """
+        evicted = 0
+        with self._intern_lock:
+            for key, (expanded, _paths) in list(self._expansions.items()):
+                assignment, _platform, pins = key
+                mapping = expanded.mapping
+                consistent = all(
+                    (pe := mapping.get(name)) is not None and pe.name == pe_name
+                    for name, pe_name in assignment
+                )
+                if consistent and pins:
+                    realised = expanded.bus_assignment
+                    consistent = all(
+                        realised.get(message) == bus_name
+                        for message, bus_name in pins
+                    )
+                if not consistent:
+                    del self._expansions[key]
+                    evicted += 1
+            labels = {key_id: key[0] for key, key_id in self._key_ids.items()}
+            for key, schedule in list(self._schedules.items()):
+                key_id, _locks = key
+                label = labels.get(key_id)
+                if label is None or schedule.path.label != label:
+                    del self._schedules[key]
+                    self._contexts.pop(key_id, None)
+                    evicted += 1
+            self.integrity_evictions += evicted
+        return evicted
 
 
 def _locks_key(

@@ -36,7 +36,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from collections import deque
 
@@ -47,6 +48,18 @@ from .moves import DEFAULT_PRIORITY_CHOICES, NeighborhoodSampler
 from .pareto import ParetoFront
 from .pool import EvaluationPool
 from .problem import ExplorationProblem
+from .resilience import (
+    Checkpointer,
+    ResilienceStats,
+    load_checkpoint,
+    rng_state_from_json,
+    scored_from_json,
+    scored_to_json,
+    search_state_from_json,
+    snapshot_document,
+    trajectory_from_json,
+    validate_checkpoint,
+)
 
 
 @dataclass(frozen=True)
@@ -63,6 +76,10 @@ class ExplorationConfig:
     #: Track a Pareto front over every fresh evaluation of the explorer (the
     #: genetic engine tracks one regardless; this turns it on for tabu/SA).
     track_front: bool = False
+    #: Cycle period of checkpoint writes when ``Explorer.explore`` is given a
+    #: checkpoint path (1 = every cycle; larger periods trade at-most-N lost
+    #: cycles for less write overhead).
+    checkpoint_every: int = 1
     # tabu search
     tabu_tenure: int = 12
     # simulated annealing
@@ -163,6 +180,12 @@ class ExplorationResult:
     #: process-mode pool scores the misses (per-worker caches are not
     #: aggregated).
     stages: Optional[StageStats] = None
+    #: Fault/retry counters of the evaluation pool (see
+    #: :class:`~repro.exploration.ResilienceStats`); None without a pool.
+    resilience: Optional[ResilienceStats] = None
+    #: The cycle this run was restored at when it resumed from a checkpoint
+    #: (None for a run started from scratch).
+    resumed_from: Optional[int] = None
 
     @property
     def improved(self) -> bool:
@@ -200,7 +223,30 @@ class _EngineBase:
                 return reason
         return None
 
-    def run(self, initial: Candidate) -> ExplorationResult:
+    # -- checkpoint plumbing -------------------------------------------------
+
+    def _problem_key(self) -> str:
+        return self._evaluator.problem.content_key
+
+    def _restore_front(self, documents: Optional[Sequence[Dict[str, Any]]]) -> None:
+        """Re-offer checkpointed front points into the evaluator's live front."""
+        front = self._evaluator.front
+        if front is None or not documents:
+            return
+        for entry in documents:
+            front.offer(*scored_from_json(entry))
+
+    @staticmethod
+    def _maybe_checkpoint(checkpointer: Optional[Checkpointer], cycle, snapshot) -> None:
+        if checkpointer is not None and checkpointer.due(cycle):
+            checkpointer.save(snapshot())
+
+    def run(
+        self,
+        initial: Candidate,
+        resume: Optional[Dict[str, Any]] = None,
+        checkpointer: Optional[Checkpointer] = None,
+    ) -> ExplorationResult:
         raise NotImplementedError
 
 
@@ -209,16 +255,57 @@ class TabuSearchEngine(_EngineBase):
 
     name = "tabu"
 
-    def run(self, initial: Candidate) -> ExplorationResult:
+    def run(
+        self,
+        initial: Candidate,
+        resume: Optional[Dict[str, Any]] = None,
+        checkpointer: Optional[Checkpointer] = None,
+    ) -> ExplorationResult:
         config = self._config
-        rng = random.Random(config.seed)
-        current, current_eval = initial, self._evaluator.evaluate(initial)
-        initial_eval = current_eval
-        best, best_eval = current, current_eval
-        tabu: deque = deque(maxlen=max(1, config.tabu_tenure))
-        tabu.append(current.fingerprint)
-        trajectory: List[TrajectoryPoint] = []
-        state = SearchState(evaluations=1, best_cost=best_eval.cost)
+        resumed_from: Optional[int] = None
+        if resume is not None:
+            rng = random.Random()
+            rng.setstate(rng_state_from_json(resume["rng"]))
+            initial, initial_eval = scored_from_json(resume["initial"])
+            best, best_eval = scored_from_json(resume["best"])
+            current, current_eval = scored_from_json(
+                resume["engine_state"]["current"]
+            )
+            tabu: deque = deque(
+                resume["engine_state"]["tabu"], maxlen=max(1, config.tabu_tenure)
+            )
+            trajectory = trajectory_from_json(resume["trajectory"])
+            state = search_state_from_json(resume["state"])
+            self._restore_front(resume.get("front"))
+            resumed_from = state.cycle
+        else:
+            rng = random.Random(config.seed)
+            current, current_eval = initial, self._evaluator.evaluate(initial)
+            initial_eval = current_eval
+            best, best_eval = current, current_eval
+            tabu = deque(maxlen=max(1, config.tabu_tenure))
+            tabu.append(current.fingerprint)
+            trajectory = []
+            state = SearchState(evaluations=1, best_cost=best_eval.cost)
+
+        def snapshot(completed: bool = False, reason: Optional[str] = None):
+            return snapshot_document(
+                engine=self.name,
+                seed=config.seed,
+                problem_key=self._problem_key(),
+                state=state,
+                rng_state=rng.getstate(),
+                initial=(initial, initial_eval),
+                best=(best, best_eval),
+                trajectory=trajectory,
+                engine_state={
+                    "current": scored_to_json(current, current_eval),
+                    "tabu": list(tabu),
+                },
+                front=self._evaluator.front,
+                completed=completed,
+                stop_reason=reason,
+            )
 
         reason = self._stop_reason(state)
         while reason is None:
@@ -272,8 +359,11 @@ class TabuSearchEngine(_EngineBase):
                     accepted=1,
                 )
             )
+            self._maybe_checkpoint(checkpointer, state.cycle, snapshot)
             reason = self._stop_reason(state)
 
+        if checkpointer is not None:
+            checkpointer.save(snapshot(completed=True, reason=reason or "stopped"))
         return ExplorationResult(
             engine=self.name,
             initial_candidate=initial,
@@ -286,6 +376,8 @@ class TabuSearchEngine(_EngineBase):
             stop_reason=reason or "stopped",
             cache=self._evaluator.stats,
             stages=self._evaluator.stage_stats,
+            resilience=self._evaluator.resilience_stats,
+            resumed_from=resumed_from,
             front=(
                 self._evaluator.front.snapshot()
                 if self._evaluator.front is not None
@@ -299,18 +391,59 @@ class SimulatedAnnealingEngine(_EngineBase):
 
     name = "anneal"
 
-    def run(self, initial: Candidate) -> ExplorationResult:
+    def run(
+        self,
+        initial: Candidate,
+        resume: Optional[Dict[str, Any]] = None,
+        checkpointer: Optional[Checkpointer] = None,
+    ) -> ExplorationResult:
         config = self._config
-        rng = random.Random(config.seed)
-        current, current_eval = initial, self._evaluator.evaluate(initial)
-        best, best_eval = current, current_eval
-        initial_eval = current_eval
-        temperature = config.initial_temperature
-        if temperature is None:
-            scale = initial_eval.cost if math.isfinite(initial_eval.cost) else 1.0
-            temperature = max(1e-9, 0.05 * scale)
-        trajectory: List[TrajectoryPoint] = []
-        state = SearchState(evaluations=1, best_cost=best_eval.cost)
+        resumed_from: Optional[int] = None
+        if resume is not None:
+            rng = random.Random()
+            rng.setstate(rng_state_from_json(resume["rng"]))
+            initial, initial_eval = scored_from_json(resume["initial"])
+            best, best_eval = scored_from_json(resume["best"])
+            current, current_eval = scored_from_json(
+                resume["engine_state"]["current"]
+            )
+            temperature = float(resume["engine_state"]["temperature"])
+            trajectory = trajectory_from_json(resume["trajectory"])
+            state = search_state_from_json(resume["state"])
+            self._restore_front(resume.get("front"))
+            resumed_from = state.cycle
+        else:
+            rng = random.Random(config.seed)
+            current, current_eval = initial, self._evaluator.evaluate(initial)
+            best, best_eval = current, current_eval
+            initial_eval = current_eval
+            temperature = config.initial_temperature
+            if temperature is None:
+                scale = (
+                    initial_eval.cost if math.isfinite(initial_eval.cost) else 1.0
+                )
+                temperature = max(1e-9, 0.05 * scale)
+            trajectory = []
+            state = SearchState(evaluations=1, best_cost=best_eval.cost)
+
+        def snapshot(completed: bool = False, reason: Optional[str] = None):
+            return snapshot_document(
+                engine=self.name,
+                seed=config.seed,
+                problem_key=self._problem_key(),
+                state=state,
+                rng_state=rng.getstate(),
+                initial=(initial, initial_eval),
+                best=(best, best_eval),
+                trajectory=trajectory,
+                engine_state={
+                    "current": scored_to_json(current, current_eval),
+                    "temperature": temperature,
+                },
+                front=self._evaluator.front,
+                completed=completed,
+                stop_reason=reason,
+            )
 
         reason = self._stop_reason(state)
         while reason is None:
@@ -363,8 +496,11 @@ class SimulatedAnnealingEngine(_EngineBase):
                     accepted=accepted,
                 )
             )
+            self._maybe_checkpoint(checkpointer, state.cycle, snapshot)
             reason = self._stop_reason(state)
 
+        if checkpointer is not None:
+            checkpointer.save(snapshot(completed=True, reason=reason or "stopped"))
         return ExplorationResult(
             engine=self.name,
             initial_candidate=initial,
@@ -377,6 +513,8 @@ class SimulatedAnnealingEngine(_EngineBase):
             stop_reason=reason or "stopped",
             cache=self._evaluator.stats,
             stages=self._evaluator.stage_stats,
+            resilience=self._evaluator.resilience_stats,
+            resumed_from=resumed_from,
             front=(
                 self._evaluator.front.snapshot()
                 if self._evaluator.front is not None
@@ -448,21 +586,52 @@ class Explorer:
         return criteria
 
     def explore(
-        self, engine: str = "tabu", initial: Optional[Candidate] = None
+        self,
+        engine: str = "tabu",
+        initial: Optional[Candidate] = None,
+        *,
+        checkpoint: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> ExplorationResult:
-        """Run one engine from the seed mapping (or a given candidate)."""
+        """Run one engine from the seed mapping (or a given candidate).
+
+        ``checkpoint`` names a JSON file the run snapshots its full state to
+        every ``ExplorationConfig.checkpoint_every`` cycles (written
+        atomically; see :mod:`repro.exploration.resilience`).  With
+        ``resume=True`` an existing checkpoint is loaded first — after
+        validating that it belongs to this engine, seed and problem — and
+        the search continues bit-identically to the uninterrupted run; a
+        missing checkpoint file simply starts from scratch, so resuming is
+        idempotent job-runner behaviour, not an error.
+        """
         try:
             engine_cls = ENGINES[engine]
         except KeyError:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
             ) from None
+        checkpointer: Optional[Checkpointer] = None
+        resume_state: Optional[Dict[str, Any]] = None
+        if checkpoint is not None:
+            checkpointer = Checkpointer(
+                checkpoint, every=self._config.checkpoint_every
+            )
+            if resume and Path(checkpoint).exists():
+                resume_state = load_checkpoint(checkpoint)
+                validate_checkpoint(
+                    resume_state,
+                    engine=engine,
+                    seed=self._config.seed,
+                    problem_key=self._problem.content_key,
+                )
+        elif resume:
+            raise ValueError("resume=True requires a checkpoint path")
         if initial is None:
             initial = self._problem.initial_candidate()
         runner = engine_cls(
             self._config, self._evaluator, self._sampler, self._stopping_criteria()
         )
-        return runner.run(initial)
+        return runner.run(initial, resume=resume_state, checkpointer=checkpointer)
 
 
 # Registered last: genetic.py imports the engine plumbing defined above, so

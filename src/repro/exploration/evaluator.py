@@ -133,6 +133,17 @@ class CachedEvaluator:
         return self._stage_cache
 
     @property
+    def resilience_stats(self):
+        """The pool's fault/retry counters, or None without a pool.
+
+        (Typed loosely to avoid importing the resilience module here; the
+        value is a :class:`repro.exploration.ResilienceStats`.)
+        """
+        if self._pool is None:
+            return None
+        return self._pool.resilience_stats
+
+    @property
     def stage_stats(self) -> Optional[StageStats]:
         """Stage-level hit/miss counters of whatever scores the misses.
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .candidate import Candidate
 from .cost import CandidateEvaluation
@@ -47,6 +47,18 @@ from .engines import (
     _EngineBase,
 )
 from .pareto import ParetoFront, crowding_distances, non_dominated_sort
+from .resilience import (
+    Checkpointer,
+    candidate_from_json,
+    candidate_to_json,
+    evaluation_from_json,
+    evaluation_to_json,
+    rng_state_from_json,
+    scored_from_json,
+    search_state_from_json,
+    snapshot_document,
+    trajectory_from_json,
+)
 
 
 class GeneticEngine(_EngineBase):
@@ -211,34 +223,87 @@ class GeneticEngine(_EngineBase):
 
     # -- the generation loop ---------------------------------------------------
 
-    def run(self, initial: Candidate) -> ExplorationResult:
+    def run(
+        self,
+        initial: Candidate,
+        resume: Optional[Dict[str, Any]] = None,
+        checkpointer: Optional[Checkpointer] = None,
+    ) -> ExplorationResult:
         """Evolve a population from the seed candidate; report best + front."""
         config = self._config
-        rng = random.Random(config.seed)
         front = self._evaluator.front
         offers_frontwards = front is None  # otherwise the evaluator offers
-        if front is None:
-            front = ParetoFront()
+        resumed_from: Optional[int] = None
+        if resume is not None:
+            rng = random.Random()
+            rng.setstate(rng_state_from_json(resume["rng"]))
+            engine_state = resume["engine_state"]
+            population = [
+                candidate_from_json(entry) for entry in engine_state["population"]
+            ]
+            evaluations = [
+                evaluation_from_json(entry)
+                for entry in engine_state["evaluations"]
+            ]
+            initial, initial_eval = scored_from_json(resume["initial"])
+            best, best_eval = scored_from_json(resume["best"])
+            trajectory = trajectory_from_json(resume["trajectory"])
+            state = search_state_from_json(resume["state"])
+            if front is None:
+                front = ParetoFront()
+                for entry in resume.get("front") or []:
+                    front.offer(*scored_from_json(entry))
+            else:
+                self._restore_front(resume.get("front"))
+            resumed_from = state.cycle
+        else:
+            rng = random.Random(config.seed)
+            if front is None:
+                front = ParetoFront()
 
-        population = self._initial_population(initial, rng)
-        evaluations = self._evaluator.evaluate_many(population)
-        if offers_frontwards:
-            front.offer_many(population, evaluations)
-        initial_eval = evaluations[0]
+            population = self._initial_population(initial, rng)
+            evaluations = self._evaluator.evaluate_many(population)
+            if offers_frontwards:
+                front.offer_many(population, evaluations)
+            initial_eval = evaluations[0]
 
-        def better(index: int) -> Tuple[float, str]:
-            return (evaluations[index].cost, population[index].fingerprint)
+            def better(index: int) -> Tuple[float, str]:
+                return (evaluations[index].cost, population[index].fingerprint)
 
-        best_index = min(range(len(population)), key=better)
-        best, best_eval = population[best_index], evaluations[best_index]
-        if not best_eval.feasible:
-            best, best_eval = initial, initial_eval
+            best_index = min(range(len(population)), key=better)
+            best, best_eval = population[best_index], evaluations[best_index]
+            if not best_eval.feasible:
+                best, best_eval = initial, initial_eval
 
-        state = SearchState(
-            evaluations=len(population),
-            best_cost=best_eval.cost if best_eval.feasible else math.inf,
-        )
-        trajectory: List[TrajectoryPoint] = []
+            state = SearchState(
+                evaluations=len(population),
+                best_cost=best_eval.cost if best_eval.feasible else math.inf,
+            )
+            trajectory = []
+
+        def snapshot(completed: bool = False, reason: Optional[str] = None):
+            return snapshot_document(
+                engine=self.name,
+                seed=config.seed,
+                problem_key=self._problem_key(),
+                state=state,
+                rng_state=rng.getstate(),
+                initial=(initial, initial_eval),
+                best=(best, best_eval),
+                trajectory=trajectory,
+                engine_state={
+                    "population": [
+                        candidate_to_json(candidate) for candidate in population
+                    ],
+                    "evaluations": [
+                        evaluation_to_json(evaluation)
+                        for evaluation in evaluations
+                    ],
+                },
+                front=front,
+                completed=completed,
+                stop_reason=reason,
+            )
 
         reason = self._stop_reason(state)
         while reason is None:
@@ -309,8 +374,11 @@ class GeneticEngine(_EngineBase):
                     accepted=fresh_survivors,
                 )
             )
+            self._maybe_checkpoint(checkpointer, state.cycle, snapshot)
             reason = self._stop_reason(state)
 
+        if checkpointer is not None:
+            checkpointer.save(snapshot(completed=True, reason=reason or "stopped"))
         return ExplorationResult(
             engine=self.name,
             initial_candidate=initial,
@@ -323,5 +391,7 @@ class GeneticEngine(_EngineBase):
             stop_reason=reason or "stopped",
             cache=self._evaluator.stats,
             stages=self._evaluator.stage_stats,
+            resilience=self._evaluator.resilience_stats,
+            resumed_from=resumed_from,
             front=front.snapshot(),
         )

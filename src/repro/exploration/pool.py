@@ -20,13 +20,35 @@ Modes
 ``serial``
     In-process loop (default on single-core hosts; also the fallback when a
     batch is smaller than two candidates).
+
+Resilience
+----------
+Pooled evaluation survives worker faults (see
+:mod:`repro.exploration.resilience`).  Failures inside a worker come back as
+marshalled exceptions and are retried under the :class:`RetryPolicy`; worker
+*death* (``BrokenProcessPool``) tears the executor down, respawns it and
+resubmits every unfinished unit; per-unit timeouts catch hung workers.  A
+candidate that keeps failing attributably is *quarantined* — scored with the
+infeasible sentinel instead of killing the run — and when respawned pools
+keep dying without making progress, the pool degrades to trusted in-process
+evaluation.  Because evaluation is pure and fault decisions are hashed from
+``(seed, fingerprint, attempt)``, none of this changes any result: batches
+come back in submission order with bit-identical evaluations, faults or not.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .candidate import Candidate
 from .cost import (
@@ -37,6 +59,14 @@ from .cost import (
     evaluate_candidate,
 )
 from .problem import ExplorationProblem
+from .resilience import (
+    FaultInjector,
+    InjectedFault,
+    ResilienceStats,
+    RetryPolicy,
+    WorkerInitializationError,
+    quarantined_evaluation,
+)
 
 # Worker-process globals, set once per worker by _initialise_worker.
 _WORKER_PROBLEM: Optional[ExplorationProblem] = None
@@ -46,15 +76,30 @@ _WORKER_WEIGHTS: Optional[CostWeights] = None
 # changes only how often stages recompute, never the evaluations — results
 # stay submission-order deterministic whatever the chunking does.
 _WORKER_STAGE_CACHE: Optional[StageCache] = None
+_WORKER_INJECTOR: Optional[FaultInjector] = None
 
 
 def _initialise_worker(
-    payload: Dict[str, Any], weights: CostWeights, stage_caching: bool = True
+    payload: Dict[str, Any],
+    weights: CostWeights,
+    stage_caching: bool = True,
+    injector: Optional[FaultInjector] = None,
 ) -> None:
-    global _WORKER_PROBLEM, _WORKER_WEIGHTS, _WORKER_STAGE_CACHE
+    global _WORKER_PROBLEM, _WORKER_WEIGHTS, _WORKER_STAGE_CACHE, _WORKER_INJECTOR
+    if injector is not None and injector.fail_worker_init:
+        raise WorkerInitializationError(
+            f"injected worker-initialisation failure for problem "
+            f"{payload.get('name')!r}"
+        )
     _WORKER_PROBLEM = ExplorationProblem.from_payload(payload)
     _WORKER_WEIGHTS = weights
     _WORKER_STAGE_CACHE = StageCache() if stage_caching else None
+    _WORKER_INJECTOR = injector
+
+
+def _worker_probe() -> bool:
+    """Cheap liveness check: did the initialiser complete in this worker?"""
+    return _WORKER_PROBLEM is not None
 
 
 def _evaluate_in_worker(candidate: Candidate) -> CandidateEvaluation:
@@ -67,9 +112,45 @@ def _evaluate_in_worker(candidate: Candidate) -> CandidateEvaluation:
     )
 
 
+def _evaluate_unit_in_worker(
+    unit: Sequence[Tuple[Candidate, int]]
+) -> List[CandidateEvaluation]:
+    """Score one resubmittable unit of (candidate, attempt) pairs."""
+    results: List[CandidateEvaluation] = []
+    for candidate, attempt in unit:
+        if _WORKER_INJECTOR is not None:
+            _WORKER_INJECTOR.inject(candidate.fingerprint, attempt, in_worker=True)
+        results.append(_evaluate_in_worker(candidate))
+    return results
+
+
 def default_worker_count() -> int:
     """Worker count used when none is requested: one per available core."""
     return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class _ResilienceCounters:
+    """Mutable tally behind the frozen :class:`ResilienceStats` snapshots."""
+
+    retries: int = 0
+    timeouts: int = 0
+    worker_restarts: int = 0
+    quarantined: int = 0
+    injected: int = 0
+    integrity_evictions: int = 0
+    degraded: bool = False
+
+    def snapshot(self) -> ResilienceStats:
+        return ResilienceStats(
+            retries=self.retries,
+            timeouts=self.timeouts,
+            worker_restarts=self.worker_restarts,
+            quarantined=self.quarantined,
+            injected=self.injected,
+            integrity_evictions=self.integrity_evictions,
+            degraded=self.degraded,
+        )
 
 
 class EvaluationPool:
@@ -79,6 +160,13 @@ class EvaluationPool:
     one, and ``close()`` (or use as a context manager) tears it down.  Results
     are always returned in submission order, so search engines stay
     deterministic regardless of worker scheduling.
+
+    ``retry`` and ``fault_injector`` arm the resilience layer (see the module
+    docstring).  Pooled (process/thread) execution always detects broken
+    executors and respawns them; an explicit retry policy additionally bounds
+    per-unit evaluation time, and a fault injector exercises the whole
+    machinery deterministically.  Serial mode stays a plain zero-overhead
+    loop unless armed.
     """
 
     def __init__(
@@ -88,6 +176,8 @@ class EvaluationPool:
         workers: Optional[int] = None,
         mode: str = "auto",
         stage_caching: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if mode not in ("auto", "serial", "thread", "process"):
             raise ValueError(
@@ -104,12 +194,19 @@ class EvaluationPool:
         # share this in-process cache (stages are pure, so thread races at
         # worst recompute a stage); process mode ships the flag to the worker
         # initialiser instead, giving each worker its own cache — and keeps
-        # no in-process cache at all, so ``stage_stats`` (None in that mode)
-        # never hides real caching activity.
+        # no in-process cache until the pool degrades to in-process
+        # evaluation, so ``stage_stats`` never hides real caching activity.
         self._stage_caching = bool(stage_caching)
         self._stage_cache: Optional[StageCache] = (
             StageCache() if self._stage_caching and self._mode != "process" else None
         )
+        self._armed = retry is not None or fault_injector is not None
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._injector = fault_injector
+        self._counters = _ResilienceCounters()
+        self._degraded = False
+        self._payload: Optional[Dict[str, Any]] = None
+        self._payload_validated = False
 
     @property
     def mode(self) -> str:
@@ -124,14 +221,27 @@ class EvaluationPool:
         return self._workers
 
     @property
+    def retry(self) -> RetryPolicy:
+        return self._retry
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool fell back to in-process evaluation for good."""
+        return self._degraded
+
+    @property
+    def resilience_stats(self) -> ResilienceStats:
+        """Fault/retry counters accumulated over the pool's lifetime."""
+        return self._counters.snapshot()
+
+    @property
     def stage_stats(self) -> Optional[StageStats]:
         """Stage-cache counters of the in-process cache, when one exists.
 
         Serial and thread modes report their shared cache.  Process mode
-        returns None: each worker owns a private cache in its own process,
-        the counters are deliberately not shipped back per batch, and no
-        in-process cache exists (small batches fall back to uncached serial
-        evaluation).
+        returns None until the pool degrades to in-process evaluation: each
+        worker owns a private cache in its own process and the counters are
+        deliberately not shipped back per batch.
         """
         if self._stage_cache is None:
             return None
@@ -139,21 +249,79 @@ class EvaluationPool:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _validated_payload(self) -> Dict[str, Any]:
+        """The worker payload, proven rebuildable *before* any worker starts.
+
+        A payload the workers cannot rebuild would otherwise surface as an
+        opaque ``BrokenProcessPool`` after every worker died trying; failing
+        here names the problem instead.
+        """
+        if self._payload is None:
+            self._payload = self._problem.to_payload()
+        if not self._payload_validated:
+            try:
+                ExplorationProblem.from_payload(self._payload)
+            except Exception as error:
+                raise WorkerInitializationError(
+                    f"problem payload {self._problem.name!r} cannot be rebuilt "
+                    f"by evaluation workers: {error}"
+                ) from error
+            self._payload_validated = True
+        return self._payload
+
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
             if self._mode == "process":
-                self._executor = ProcessPoolExecutor(
+                executor: Executor = ProcessPoolExecutor(
                     max_workers=self._workers,
                     initializer=_initialise_worker,
                     initargs=(
-                        self._problem.to_payload(),
+                        self._validated_payload(),
                         self._weights,
                         self._stage_caching,
+                        self._injector,
                     ),
                 )
+                probe = executor.submit(_worker_probe)
+                try:
+                    probe.result(timeout=self._retry.startup_timeout)
+                except BrokenExecutor as error:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    raise WorkerInitializationError(
+                        f"worker initialisation failed for problem "
+                        f"{self._problem.name!r} ({self._workers} process "
+                        f"worker(s)): {error}"
+                    ) from error
+                except TimeoutError as error:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    raise WorkerInitializationError(
+                        f"worker initialisation for problem {self._problem.name!r} "
+                        f"timed out after {self._retry.startup_timeout:g}s"
+                    ) from error
+                self._executor = executor
             else:
                 self._executor = ThreadPoolExecutor(max_workers=self._workers)
         return self._executor
+
+    def _restart_executor(self) -> None:
+        """Tear down a broken/hung executor so the next round respawns it."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._counters.worker_restarts += 1
+        if self._stage_cache is not None:
+            # An abandoned hung thread may still be writing into the shared
+            # in-process cache; verify the survivors before reusing them.
+            self._counters.integrity_evictions += self._stage_cache.check_integrity()
+
+    def _degrade(self) -> None:
+        """Give up on pooled execution; evaluate in-process from now on."""
+        self._degraded = True
+        self._counters.degraded = True
+        if self._stage_cache is not None:
+            self._counters.integrity_evictions += self._stage_cache.check_integrity()
+        elif self._stage_caching:
+            self._stage_cache = StageCache()
 
     def close(self) -> None:
         if self._executor is not None:
@@ -170,30 +338,258 @@ class EvaluationPool:
 
     def evaluate(self, candidates: Sequence[Candidate]) -> List[CandidateEvaluation]:
         """Score a batch, in submission order."""
-        if self._mode == "serial" or len(candidates) < 2:
-            return [
-                evaluate_candidate(
-                    self._problem,
-                    candidate,
-                    self._weights,
-                    stage_cache=self._stage_cache,
-                )
-                for candidate in candidates
-            ]
-        executor = self._ensure_executor()
-        if self._mode == "process":
-            chunksize = max(1, len(candidates) // (self._workers * 4))
-            return list(
-                executor.map(_evaluate_in_worker, candidates, chunksize=chunksize)
-            )
-        return list(
-            executor.map(
-                lambda candidate: evaluate_candidate(
-                    self._problem,
-                    candidate,
-                    self._weights,
-                    stage_cache=self._stage_cache,
-                ),
-                candidates,
-            )
+        if self._degraded:
+            # Trusted in-process evaluation: the injector simulates *worker*
+            # faults, and the workers are gone for good.
+            return [self._evaluate_one(candidate) for candidate in candidates]
+        if self._mode == "serial" or (len(candidates) < 2 and not self._armed):
+            return self._evaluate_serial(candidates)
+        return self._evaluate_pooled(list(candidates))
+
+    def _evaluate_one(self, candidate: Candidate) -> CandidateEvaluation:
+        return evaluate_candidate(
+            self._problem,
+            candidate,
+            self._weights,
+            stage_cache=self._stage_cache,
         )
+
+    def _evaluate_serial(
+        self, candidates: Sequence[Candidate]
+    ) -> List[CandidateEvaluation]:
+        if not self._armed:
+            return [self._evaluate_one(candidate) for candidate in candidates]
+        results: List[CandidateEvaluation] = []
+        for candidate in candidates:
+            attempt, failures = 0, 0
+            error = ""
+            while True:
+                try:
+                    if self._injector is not None:
+                        # In-process, 'hang' and 'exit' degrade to a raised
+                        # fault (see FaultInjector.inject): the coordinator
+                        # must survive its own evaluations.
+                        self._injector.inject(
+                            candidate.fingerprint, attempt, in_worker=False
+                        )
+                    results.append(self._evaluate_one(candidate))
+                    break
+                except Exception as exc:
+                    if isinstance(exc, InjectedFault):
+                        self._counters.injected += 1
+                    attempt += 1
+                    failures += 1
+                    error = str(exc)
+                    if failures >= self._retry.max_attempts:
+                        results.append(
+                            quarantined_evaluation(
+                                candidate.fingerprint, failures, error
+                            )
+                        )
+                        self._counters.quarantined += 1
+                        break
+                    self._counters.retries += 1
+                    delay = self._retry.delay_for(failures, candidate.fingerprint)
+                    if delay > 0:
+                        time.sleep(delay)
+        return results
+
+    def _evaluate_pooled(
+        self, candidates: List[Candidate]
+    ) -> List[CandidateEvaluation]:
+        """The resilient unit-based submission path (process and thread modes).
+
+        Candidates are grouped into *units* (index tuples).  Each round
+        submits every outstanding unit, harvests results, and classifies
+        failures:
+
+        * a marshalled exception or a per-unit timeout is *attributable* —
+          singleton units count a failure toward quarantine, larger units
+          split into singletons so one poison candidate cannot take its
+          chunk-mates down with it;
+        * a broken executor is *collateral* — unfinished units resubmit with
+          bumped attempt numbers (so injected 'exit' faults move to a fresh
+          draw) but no candidate is blamed.
+
+        Restart budget: ``RetryPolicy.max_pool_restarts`` consecutive
+        restarts without harvesting a single unit degrade the pool to
+        in-process evaluation.
+        """
+        total = len(candidates)
+        results: List[Optional[CandidateEvaluation]] = [None] * total
+        attempts = [0] * total
+        failures = [0] * total
+        chunk = max(1, total // (self._workers * 4))
+        pending: List[Tuple[int, ...]] = [
+            tuple(range(start, min(start + chunk, total)))
+            for start in range(0, total, chunk)
+        ]
+        restarts_without_progress = 0
+
+        while pending:
+            if self._degraded:
+                for unit in pending:
+                    for index in unit:
+                        if results[index] is None:
+                            results[index] = self._evaluate_one(candidates[index])
+                break
+
+            executor = self._ensure_executor()
+            submitted: List[Tuple[Future, Tuple[int, ...]]] = []
+            unsubmitted: List[Tuple[int, ...]] = []
+            broken = False
+            for position, unit in enumerate(pending):
+                try:
+                    future = executor.submit(
+                        *self._unit_task(candidates, attempts, unit)
+                    )
+                except BrokenExecutor:
+                    # Workers died while the round was still being submitted;
+                    # the rest of the round is collateral.
+                    broken = True
+                    unsubmitted = pending[position:]
+                    break
+                submitted.append((future, unit))
+            pending = []
+            for unit in unsubmitted:
+                for index in unit:
+                    attempts[index] += 1
+                pending.append(unit)
+            retry_round: List[Tuple[int, ...]] = []
+            progress = False
+
+            for future, unit in submitted:
+                if broken:
+                    # The executor already died this round; collect whatever
+                    # finished, treat the rest as collateral.
+                    if future.done():
+                        try:
+                            self._record(results, unit, future.result())
+                            progress = True
+                            continue
+                        except Exception:
+                            pass
+                    for index in unit:
+                        attempts[index] += 1
+                    pending.append(unit)
+                    continue
+                try:
+                    values = future.result(timeout=self._unit_timeout(unit))
+                    self._record(results, unit, values)
+                    progress = True
+                except TimeoutError:
+                    self._counters.timeouts += 1
+                    broken = True  # a worker is stuck; tear the pool down
+                    self._attribute_failure(
+                        unit, attempts, failures, results, candidates,
+                        pending, "evaluation timed out",
+                    )
+                except BrokenExecutor:
+                    broken = True
+                    for index in unit:
+                        attempts[index] += 1
+                    pending.append(unit)
+                except Exception as error:
+                    # Marshalled worker exception: injected crash or a
+                    # genuinely poisoned candidate.
+                    self._attribute_failure(
+                        unit, attempts, failures, results, candidates,
+                        retry_round, str(error),
+                    )
+
+            pending.extend(retry_round)
+            if broken:
+                self._restart_executor()
+                restarts_without_progress = (
+                    0 if progress else restarts_without_progress + 1
+                )
+                if restarts_without_progress > self._retry.max_pool_restarts:
+                    self._degrade()
+            elif retry_round:
+                # Plain retries with a healthy pool: deterministic backoff
+                # before the next round (the longest delay of the round).
+                delay = max(
+                    self._retry.delay_for(
+                        max(1, failures[unit[0]]),
+                        candidates[unit[0]].fingerprint,
+                    )
+                    for unit in retry_round
+                )
+                if delay > 0:
+                    time.sleep(delay)
+
+        return [evaluation for evaluation in results if evaluation is not None]
+
+    def _unit_task(
+        self,
+        candidates: List[Candidate],
+        attempts: List[int],
+        unit: Tuple[int, ...],
+    ):
+        """The callable + argument submitted for one unit, mode-specific."""
+        payload = [(candidates[index], attempts[index]) for index in unit]
+        if self._mode == "process":
+            return (_evaluate_unit_in_worker, payload)
+        return (self._evaluate_unit_in_thread, payload)
+
+    def _evaluate_unit_in_thread(
+        self, unit: Sequence[Tuple[Candidate, int]]
+    ) -> List[CandidateEvaluation]:
+        results: List[CandidateEvaluation] = []
+        for candidate, attempt in unit:
+            if self._injector is not None:
+                fault = self._injector.fault_for(candidate.fingerprint, attempt)
+                if fault is not None:
+                    self._counters.injected += 1
+                if fault == "hang":
+                    time.sleep(self._injector.hang_seconds)
+                elif fault is not None:
+                    self._injector.inject(
+                        candidate.fingerprint, attempt, in_worker=False
+                    )
+            results.append(self._evaluate_one(candidate))
+        return results
+
+    def _unit_timeout(self, unit: Tuple[int, ...]) -> Optional[float]:
+        if self._retry.timeout is None:
+            return None
+        return self._retry.timeout * len(unit)
+
+    @staticmethod
+    def _record(
+        results: List[Optional[CandidateEvaluation]],
+        unit: Tuple[int, ...],
+        values: Sequence[CandidateEvaluation],
+    ) -> None:
+        for index, evaluation in zip(unit, values):
+            results[index] = evaluation
+
+    def _attribute_failure(
+        self,
+        unit: Tuple[int, ...],
+        attempts: List[int],
+        failures: List[int],
+        results: List[Optional[CandidateEvaluation]],
+        candidates: List[Candidate],
+        resubmit: List[Tuple[int, ...]],
+        error: str,
+    ) -> None:
+        """Handle an attributable unit failure: retry, split or quarantine."""
+        for index in unit:
+            attempts[index] += 1
+        if len(unit) > 1:
+            # Isolate the poison: retry members individually.
+            self._counters.retries += 1
+            for index in unit:
+                resubmit.append((index,))
+            return
+        index = unit[0]
+        failures[index] += 1
+        if failures[index] >= self._retry.max_attempts:
+            results[index] = quarantined_evaluation(
+                candidates[index].fingerprint, failures[index], error
+            )
+            self._counters.quarantined += 1
+        else:
+            self._counters.retries += 1
+            resubmit.append(unit)

@@ -24,6 +24,8 @@ no condition-universe bitmask) ever crosses a process boundary.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -187,6 +189,7 @@ class ExplorationProblem:
         self._spare_processors: Tuple[str, ...] = ()
         self._spare_buses: Tuple[str, ...] = ()
         self._architecture_cache: Dict[Tuple[Tuple[str, str], ...], Architecture] = {}
+        self._content_key: Optional[str] = None
         if bounds is not None:
             self._bounds = bounds.resolved_for(self._architecture)
             taken = {pe.name for pe in self._architecture.processing_elements}
@@ -536,6 +539,20 @@ class ExplorationProblem:
         return key
 
     # -- worker transport ----------------------------------------------------
+
+    @property
+    def content_key(self) -> str:
+        """Stable content hash of the whole problem (payload-derived).
+
+        Two problems share a key exactly when their payloads — graph,
+        architecture, seed mapping, sizing bounds, communication-mapping
+        settings — are identical.  Checkpoints record it so a resume into a
+        different problem is rejected instead of silently diverging.
+        """
+        if self._content_key is None:
+            document = json.dumps(self.to_payload(), sort_keys=True)
+            self._content_key = hashlib.sha256(document.encode()).hexdigest()[:16]
+        return self._content_key
 
     def to_payload(self) -> Dict[str, Any]:
         """Serialise to the JSON system-description document (picklable)."""

@@ -139,14 +139,45 @@ def save_system(
 # -- reading -----------------------------------------------------------------------
 
 
+def _entry_dict(entry: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(entry, dict):
+        raise SerializationError(f"{what} must be an object, got {entry!r}")
+    return entry
+
+
+def _entry_name(entry: Dict[str, Any], what: str) -> str:
+    try:
+        name = entry["name"]
+    except KeyError as error:
+        raise SerializationError(f"{what} {entry!r} is missing 'name'") from error
+    if not isinstance(name, str) or not name:
+        raise SerializationError(f"{what} name must be a non-empty string, got {name!r}")
+    return name
+
+
+def _entry_float(entry: Dict[str, Any], key: str, default: float, what: str) -> float:
+    value = entry.get(key, default)
+    try:
+        return float(value)
+    except (TypeError, ValueError) as error:
+        raise SerializationError(
+            f"{what} field {key!r} must be a number, got {value!r}"
+        ) from error
+
+
 def architecture_from_dict(document: Dict[str, Any]) -> Architecture:
     """Deserialise an architecture document."""
+    document = _entry_dict(document, "architecture document")
     try:
         processor_docs = document["processors"]
     except KeyError as error:
         raise SerializationError("architecture document needs 'processors'") from error
+    if not isinstance(processor_docs, list):
+        raise SerializationError("'processors' must be a list of objects")
     processors = []
     for entry in processor_docs:
+        entry = _entry_dict(entry, "processor entry")
+        name = _entry_name(entry, "processor entry")
         kind = entry.get("kind", "programmable")
         try:
             pe_kind = PEKind(kind)
@@ -155,40 +186,69 @@ def architecture_from_dict(document: Dict[str, Any]) -> Architecture:
         if pe_kind is PEKind.BUS:
             raise SerializationError("buses must be listed under 'buses'")
         processors.append(
-            ProcessingElement(entry["name"], pe_kind, float(entry.get("speed", 1.0)))
+            ProcessingElement(
+                name, pe_kind, _entry_float(entry, "speed", 1.0, f"processor {name!r}")
+            )
         )
+    bus_docs = document.get("buses", [])
+    if not isinstance(bus_docs, list):
+        raise SerializationError("'buses' must be a list of objects")
     buses = []
     connectivity: Dict[str, List[str]] = {}
-    for entry in document.get("buses", []):
+    for entry in bus_docs:
+        entry = _entry_dict(entry, "bus entry")
+        name = _entry_name(entry, "bus entry")
         buses.append(
-            ProcessingElement(entry["name"], PEKind.BUS, float(entry.get("speed", 1.0)))
+            ProcessingElement(
+                name, PEKind.BUS, _entry_float(entry, "speed", 1.0, f"bus {name!r}")
+            )
         )
         if "connects" in entry:
-            connectivity[entry["name"]] = list(entry["connects"])
-    return Architecture(
-        processors,
-        buses,
-        condition_broadcast_time=float(document.get("condition_broadcast_time", 1.0)),
-        connectivity=connectivity or None,
-    )
+            connectivity[name] = list(entry["connects"])
+    try:
+        return Architecture(
+            processors,
+            buses,
+            condition_broadcast_time=_entry_float(
+                document, "condition_broadcast_time", 1.0, "architecture"
+            ),
+            connectivity=connectivity or None,
+        )
+    except ValueError as error:
+        raise SerializationError(f"invalid architecture: {error}") from error
 
 
 def system_from_dict(document: Dict[str, Any]) -> SystemDescription:
-    """Deserialise a complete system description."""
+    """Deserialise a complete system description.
+
+    Schema violations — a missing section, a process mapped to an unknown
+    processing element, an edge naming an undeclared process, a non-numeric
+    time — raise :class:`SerializationError` naming the offending entry,
+    never a bare ``KeyError``/``TypeError`` traceback.
+    """
+    document = _entry_dict(document, "system document")
     for key in ("architecture", "processes", "edges"):
         if key not in document:
             raise SerializationError(f"system document is missing {key!r}")
+        if key != "architecture" and not isinstance(document[key], list):
+            raise SerializationError(f"{key!r} must be a list of objects")
     architecture = architecture_from_dict(document["architecture"])
     name = document.get("name", "system")
 
     builder = CPGBuilder(name)
     mapping = Mapping(architecture)
+    declared = set()
     for entry in document["processes"]:
-        try:
-            process_name = entry["name"]
-            execution_time = float(entry["execution_time"])
-        except KeyError as error:
-            raise SerializationError(f"process entry {entry!r} is incomplete") from error
+        entry = _entry_dict(entry, "process entry")
+        process_name = _entry_name(entry, "process entry")
+        if "execution_time" not in entry:
+            raise SerializationError(
+                f"process {process_name!r} is missing 'execution_time'"
+            )
+        execution_time = _entry_float(
+            entry, "execution_time", 0.0, f"process {process_name!r}"
+        )
+        declared.add(process_name)
         builder.process(
             process_name,
             execution_time,
@@ -196,9 +256,32 @@ def system_from_dict(document: Dict[str, Any]) -> SystemDescription:
             is_conjunction=bool(entry.get("is_conjunction", False)),
         )
         if "mapped_to" in entry:
-            mapping.assign(process_name, architecture[entry["mapped_to"]])
+            target = entry["mapped_to"]
+            try:
+                element = architecture[target]
+            except KeyError as error:
+                raise SerializationError(
+                    f"process {process_name!r} is mapped to unknown "
+                    f"processing element {target!r}"
+                ) from error
+            try:
+                mapping.assign(process_name, element)
+            except ValueError as error:
+                raise SerializationError(
+                    f"process {process_name!r} cannot be mapped to "
+                    f"{target!r}: {error}"
+                ) from error
 
     for entry in document["edges"]:
+        entry = _entry_dict(entry, "edge entry")
+        for key in ("src", "dst"):
+            if key not in entry:
+                raise SerializationError(f"edge entry {entry!r} is missing {key!r}")
+            if entry[key] not in declared:
+                raise SerializationError(
+                    f"edge {entry.get('src')!r} -> {entry.get('dst')!r} names "
+                    f"undeclared process {entry[key]!r}"
+                )
         condition: Optional[Literal] = None
         if "condition" in entry:
             condition = Literal(
@@ -208,10 +291,18 @@ def system_from_dict(document: Dict[str, Any]) -> SystemDescription:
             entry["src"],
             entry["dst"],
             condition=condition,
-            communication_time=float(entry.get("communication_time", 0.0)),
+            communication_time=_entry_float(
+                entry,
+                "communication_time",
+                0.0,
+                f"edge {entry['src']!r} -> {entry['dst']!r}",
+            ),
         )
 
-    graph = builder.build()
+    try:
+        graph = builder.build()
+    except (ValueError, RuntimeError) as error:
+        raise SerializationError(f"invalid process graph: {error}") from error
     return SystemDescription(name, graph, architecture, mapping)
 
 

@@ -1,6 +1,17 @@
-"""Shared fixtures: the paper's Fig. 1 example and a few small hand-built systems."""
+"""Shared fixtures: the paper's Fig. 1 example and a few small hand-built systems.
+
+Also installs a per-test wall-clock timeout (SIGALRM-based, POSIX main thread
+only) so a hung evaluation worker or a deadlocked pool aborts the single test
+with a traceback instead of wedging the whole suite.  Configure with the
+``REPRO_TEST_TIMEOUT`` environment variable (seconds; ``0`` disables; default
+300).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
@@ -94,3 +105,29 @@ def pytest_configure(config):
         "perf: wall-clock smoke checks against the BENCH_core.json baseline "
         "(deselect with -m 'not perf' on constrained machines)",
     )
+
+
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if (
+        _TEST_TIMEOUT <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT:g}s wall-clock limit"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -161,6 +161,75 @@ def test_missing_command_errors():
         main([])
 
 
-def test_unknown_file_reported():
-    with pytest.raises(FileNotFoundError):
-        main(["info", "/nonexistent/system.json"])
+def test_unknown_file_reported(capsys):
+    assert main(["info", "/nonexistent/system.json"]) == 2
+    captured = capsys.readouterr()
+    assert "no such file" in captured.err
+    assert "/nonexistent/system.json" in captured.err
+
+
+def test_malformed_system_json_exits_with_message(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text('{"architecture": {"processors": []}, "processes": "oops"}')
+    assert main(["info", str(path)]) == 2
+    captured = capsys.readouterr()
+    assert "invalid system description" in captured.err
+    assert captured.out == ""
+
+
+def test_unparseable_json_exits_with_message(tmp_path, capsys):
+    path = tmp_path / "garbage.json"
+    path.write_text("this is not json")
+    assert main(["schedule", str(path)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_explore_with_fault_injection_matches_clean_run(capsys):
+    base = [
+        "explore", "--nodes", "16", "--paths", "2", "--seed", "3",
+        "--cycles", "3", "--engine", "tabu", "--json",
+    ]
+    assert main(base) == 0
+    clean = json.loads(capsys.readouterr().out)
+    assert main(base + [
+        "--fault-crash-rate", "0.1", "--fault-exit-rate", "0.05",
+        "--retries", "5",
+    ]) == 0
+    faulted = json.loads(capsys.readouterr().out)
+    assert faulted["results"][0]["best"] == clean["results"][0]["best"]
+    assert faulted["results"][0]["trajectory"] == clean["results"][0]["trajectory"]
+    resilience = faulted["results"][0]["resilience"]
+    assert resilience is not None and not resilience["degraded"]
+    assert clean["results"][0]["resilience"] is None
+
+
+def test_explore_checkpoint_resume_cli_round_trip(tmp_path, capsys):
+    checkpoint = tmp_path / "search.ckpt.json"
+    base = [
+        "explore", "--nodes", "16", "--paths", "2", "--seed", "3",
+        "--engine", "anneal", "--json",
+    ]
+    assert main(base + ["--cycles", "6"]) == 0
+    full = json.loads(capsys.readouterr().out)["results"][0]
+    assert main(base + ["--cycles", "3", "--checkpoint", str(checkpoint)]) == 0
+    capsys.readouterr()
+    assert main(
+        base + ["--cycles", "6", "--checkpoint", str(checkpoint), "--resume"]
+    ) == 0
+    resumed = json.loads(capsys.readouterr().out)["results"][0]
+    assert resumed["resumed_from"] == 3
+    assert resumed["best"] == full["best"]
+    assert resumed["trajectory"] == full["trajectory"]
+
+
+def test_explore_resume_requires_checkpoint(capsys):
+    assert main(["explore", "--nodes", "16", "--resume"]) == 2
+    assert "--checkpoint" in capsys.readouterr().err
+
+
+def test_explore_checkpoint_rejects_multiple_engines(capsys, tmp_path):
+    assert main([
+        "explore", "--nodes", "16", "--engine", "both",
+        "--checkpoint", str(tmp_path / "c.json"),
+    ]) == 2
+    assert "one engine" in capsys.readouterr().err

@@ -91,6 +91,39 @@ class TestSystemRoundTrip:
         with pytest.raises(SerializationError):
             system_from_dict(document)
 
+    def test_schema_violations_name_the_offending_entry(self, small_system):
+        def document():
+            return system_to_dict(
+                small_system["graph"],
+                small_system["architecture"],
+                small_system["mapping"],
+            )
+
+        bad = document()
+        bad["processes"][0]["mapped_to"] = "pe99"
+        with pytest.raises(SerializationError, match="pe99"):
+            system_from_dict(bad)
+
+        bad = document()
+        bad["processes"][0]["execution_time"] = "fast"
+        with pytest.raises(SerializationError, match="must be a number"):
+            system_from_dict(bad)
+
+        bad = document()
+        bad["edges"].append({"src": "P1", "dst": "P99"})
+        with pytest.raises(SerializationError, match="undeclared process 'P99'"):
+            system_from_dict(bad)
+
+        bad = document()
+        bad["edges"][0].pop("dst")
+        with pytest.raises(SerializationError, match="missing 'dst'"):
+            system_from_dict(bad)
+
+        bad = document()
+        bad["processes"] = {"P1": 1.0}
+        with pytest.raises(SerializationError, match="must be a list"):
+            system_from_dict(bad)
+
     def test_per_pe_execution_times_survive(self, two_processor_architecture):
         from repro.architecture import Mapping
         from repro.graph import CPGBuilder, ordinary_process
