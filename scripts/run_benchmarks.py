@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
 import sys
 import time
 from pathlib import Path
@@ -153,6 +154,29 @@ RESILIENCE_WORKLOAD = {
 #: same-host timings and scheduler noise can double it on a busy machine,
 #: while a genuinely heavy resilience layer (tens of percent) still fails.
 RESILIENCE_GATE_OVERHEAD = 12.0
+
+
+def _capture_metadata(timestamp: str | None) -> dict:
+    """Provenance stamped on (re-)measured records: interpreter, host, when.
+
+    The timestamp is *passed in* (``--timestamp``), never read from the
+    clock: regenerating a record with a pinned timestamp stays byte-for-byte
+    reproducible, and an unstamped regeneration is honestly ``null`` instead
+    of silently dating itself.
+    """
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timestamp": timestamp,
+    }
+
+
+def _capture_text(captured: dict | None) -> str:
+    """One-cell rendering of a capture stamp (``-`` when absent)."""
+    if not captured:
+        return "-"
+    when = captured.get("timestamp") or "undated"
+    return f"py{captured.get('python', '?')} {when}"
 
 
 def _calibrate(repeats: int = 3) -> float:
@@ -581,35 +605,49 @@ def _measure_resilience() -> dict:
 
 
 def _summary_rows(payload: dict) -> list:
-    """One ``(record, headline, seconds)`` row per committed benchmark record."""
+    """``(record, headline, seconds, captured)`` per committed benchmark record.
+
+    The ``captured`` cell renders each record's capture stamp (interpreter,
+    caller-supplied timestamp); records measured before stamping existed —
+    and the preset grid, which is only rewritten wholesale — fall back to the
+    payload-level stamp, or ``-``.
+    """
+    fallback = payload.get("captured")
     rows = []
     for preset, record in payload["workloads"].items():
         speedup = record.get("speedup_vs_seed")
         headline = f"merge x{speedup} vs seed" if speedup else "merge"
-        rows.append([preset, headline, record["merge_seconds"]])
+        rows.append([
+            preset, headline, record["merge_seconds"],
+            _capture_text(record.get("captured") or fallback),
+        ])
     exploration = payload["exploration"]
     rows.append([
         "exploration",
         f"cache+pool x{exploration['speedup']} vs naive",
         exploration["optimised_seconds"],
+        _capture_text(exploration.get("captured") or fallback),
     ])
     genetic = payload["genetic"]
     rows.append([
         "genetic",
         f"front of {genetic['front_size']} frozen (determinism)",
         genetic["engine_seconds"],
+        _capture_text(genetic.get("captured") or fallback),
     ])
     comm = payload["comm_mapping"]
     rows.append([
         "comm_mapping",
         f"mapped {comm['mapped_best_cost']:g} < derived {comm['derived_best_cost']:g}",
         comm["engine_seconds"],
+        _capture_text(comm.get("captured") or fallback),
     ])
     incremental = payload["incremental"]
     rows.append([
         "incremental",
         f"staged x{incremental['speedup']} vs full pipeline",
         incremental["incremental_seconds"],
+        _capture_text(incremental.get("captured") or fallback),
     ])
     resilience = payload.get("resilience")
     if resilience:  # baselines may predate the resilience record
@@ -617,6 +655,7 @@ def _summary_rows(payload: dict) -> list:
             "resilience",
             f"armed runtime {resilience['overhead_percent']:+g}% fault-free",
             resilience["armed_seconds"],
+            _capture_text(resilience.get("captured") or fallback),
         ])
     return rows
 
@@ -627,11 +666,12 @@ def print_summary(payload: dict) -> None:
     width = max(len(str(row[0])) for row in rows)
     head = max(len(str(row[1])) for row in rows)
     print("benchmark trajectory:")
-    for name, headline, seconds in rows:
-        print(f"  {str(name):<{width}}  {str(headline):<{head}}  {seconds:.4f}s")
+    for name, headline, seconds, captured in rows:
+        print(f"  {str(name):<{width}}  {str(headline):<{head}}  "
+              f"{seconds:.4f}s  {captured}")
 
 
-def run(output: Path, presets, repeats: int) -> dict:
+def run(output: Path, presets, repeats: int, timestamp: str | None = None) -> dict:
     workloads = {}
     for preset in presets:
         workloads[preset] = _measure(preset, repeats)
@@ -738,6 +778,7 @@ def run(output: Path, presets, repeats: int) -> dict:
         ),
         "reference": DEFAULT_REFERENCE,
         "tolerance": DEFAULT_TOLERANCE,
+        "captured": _capture_metadata(timestamp),
         "calibration_seconds": round(_calibrate(), 4),
         "workloads": workloads,
         "exploration": exploration,
@@ -763,6 +804,7 @@ def check(
     Returns None when within tolerance, an explanatory message otherwise.
     """
     baseline = json.loads(baseline_path.read_text())
+    print_summary(baseline)  # the committed trajectory, with capture stamps
     reference = reference or baseline.get("reference", DEFAULT_REFERENCE)
     tolerance = tolerance if tolerance is not None else baseline.get(
         "tolerance", DEFAULT_TOLERANCE
@@ -969,12 +1011,15 @@ RECORD_MEASURERS = {
 }
 
 
-def update_records(baseline_path: Path, names: list) -> int:
+def update_records(
+    baseline_path: Path, names: list, timestamp: str | None = None
+) -> int:
     """Re-measure only the named records and merge them into the baseline.
 
     Avoids re-freezing every timing (and every determinism anchor) just to
     add or refresh one record — the rest of the committed trajectory stays
-    byte-identical.
+    byte-identical.  Each re-measured record is stamped with capture
+    metadata (interpreter, host platform, the caller-supplied ``timestamp``).
     """
     payload = json.loads(baseline_path.read_text())
     for name in names:
@@ -987,8 +1032,9 @@ def update_records(baseline_path: Path, names: list) -> int:
             )
             return 2
         record = measurer()
+        record["captured"] = _capture_metadata(timestamp)
         payload[name] = record
-        print(f"re-measured {name!r}")
+        print(f"re-measured {name!r} ({_capture_text(record['captured'])})")
     baseline_path.write_text(json.dumps(payload, indent=1) + "\n")
     print(f"wrote {baseline_path}")
     print_summary(payload)
@@ -1020,6 +1066,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3, help="best-of repetitions")
     parser.add_argument(
+        "--timestamp",
+        default=None,
+        metavar="ISO8601",
+        help="capture timestamp stamped on (re-)measured records; passed in "
+        "explicitly (e.g. from CI) so regeneration never reads the clock",
+    )
+    parser.add_argument(
         "--record",
         action="append",
         default=None,
@@ -1034,14 +1087,19 @@ def main(argv=None) -> int:
 
     try:
         if args.record:
-            return update_records(args.baseline, args.record)
+            return update_records(args.baseline, args.record, args.timestamp)
         if args.check:
             failure = check(args.baseline, args.reference, args.tolerance, args.repeats)
             if failure:
                 print(f"FAIL: {failure}", file=sys.stderr)
                 return 1
             return 0
-        run(args.output, [p for p in args.presets.split(",") if p], args.repeats)
+        run(
+            args.output,
+            [p for p in args.presets.split(",") if p],
+            args.repeats,
+            args.timestamp,
+        )
         return 0
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)

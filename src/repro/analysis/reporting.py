@@ -151,6 +151,9 @@ def format_exploration_comparison(
     ``-``.  The ``faults`` column summarises the resilience counters as
     ``r<retries> w<worker restarts> q<quarantined>`` (plus ``DEGRADED`` when
     the pool fell back to in-process evaluation); unarmed runs show ``-``.
+    The ``wall`` column shows the run's total wall-clock time and the mean
+    per evaluation (``total/mean``, from the metrics snapshot backing
+    ``ExplorationResult.wall_seconds``); runs without metrics show ``-``.
     """
     rows = []
     for result in results:
@@ -170,6 +173,12 @@ def format_exploration_comparison(
                 fault_cell += " DEGRADED"
         else:
             fault_cell = "-"
+        wall = getattr(result, "wall_seconds", None)
+        if wall is not None:
+            evaluations = result.evaluations or 1
+            wall_cell = f"{wall:.2f}s/{1000.0 * wall / evaluations:.1f}ms"
+        else:
+            wall_cell = "-"
         rows.append([
             result.engine,
             result.initial.delta_max,
@@ -180,10 +189,11 @@ def format_exploration_comparison(
             result.cache.hits,
             stage_cell,
             fault_cell,
+            wall_cell,
         ])
     return format_table(
         title,
         ["engine", "seed dmax", "best dmax", "gain", "cycles", "evals",
-         "cache hits", "sched hits", "faults"],
+         "cache hits", "sched hits", "faults", "wall"],
         rows,
     )

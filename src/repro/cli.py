@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction.
 
-Five subcommands cover the main uses of the library without writing Python:
+Six subcommands cover the main uses of the library without writing Python:
 
 ``repro-cpg info <system.json>``
     Parse a system description, validate it and print its characteristics
@@ -29,6 +29,13 @@ Five subcommands cover the main uses of the library without writing Python:
     per-message bus pins); ``--pareto`` reports the non-dominated front over
     (delta_max, mean path delay, load imbalance, architecture cost, bus
     imbalance) instead of only the best scalar design point.
+    ``--trace FILE`` writes a structured span/event trace of the run and
+    ``--metrics`` collects wall-clock stage timings (see
+    :mod:`repro.observability` and ``docs/observability.md``).
+
+``repro-cpg trace-report <trace.jsonl>``
+    Aggregate a trace written by ``explore --trace`` into per-stage and
+    per-engine wall-time tables plus an event tally.
 
 The console script ``repro-cpg`` is installed with the package; the module can
 also be run with ``python -m repro.cli``.  See ``docs/cli.md`` for the full
@@ -70,6 +77,15 @@ from .generator import RandomSystemGenerator, generate_system, paper_experiment_
 from .graph import PathEnumerator
 from .graph.cpg import GraphStructureError
 from .io import SerializationError, load_system
+from .observability import (
+    JsonlSink,
+    MetricsRegistry,
+    TraceError,
+    Tracer,
+    aggregate_trace,
+    format_trace_report,
+    read_trace,
+)
 from .scheduling import ScheduleMerger
 from .simulation import validate_merge_result
 
@@ -263,7 +279,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trajectory", action="store_true", help="print the full trajectory"
     )
     explore.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a structured span/event trace (JSON lines) of the run; "
+        "aggregate it afterwards with 'repro-cpg trace-report FILE'",
+    )
+    explore.add_argument(
+        "--metrics", action="store_true",
+        help="collect wall-clock stage timings and report the per-stage "
+        "breakdown (adds stage_seconds/wall_seconds to --json output)",
+    )
+    explore.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    trace_report = subparsers.add_parser(
+        "trace-report",
+        help="aggregate an 'explore --trace' file into per-stage and "
+        "per-engine wall-time tables",
+    )
+    trace_report.add_argument(
+        "trace", help="path to a JSONL trace written by 'explore --trace'"
     )
 
     return parser
@@ -482,6 +517,10 @@ def _explore_result_dict(result, include_front: bool = False, problem=None) -> d
             else None
         ),
         "resumed_from": result.resumed_from,
+        # Timing (both None unless --metrics is on: identical invocations
+        # must keep producing byte-identical JSON).
+        "stage_seconds": result.stage_seconds,
+        "wall_seconds": result.wall_seconds,
         "trajectory": [
             {
                 "cycle": point.cycle,
@@ -619,6 +658,13 @@ def _command_explore(arguments) -> int:
         # Faults without an explicit policy still need bounded retries.
         retry = RetryPolicy()
 
+    tracer = None
+    if arguments.trace is not None:
+        tracer = Tracer(
+            JsonlSink(arguments.trace), run_id=f"explore-seed{arguments.seed}"
+        )
+    metrics = MetricsRegistry() if arguments.metrics else None
+
     pool = None
     if arguments.workers > 1 or injector is not None or retry is not None:
         pool = EvaluationPool(
@@ -627,9 +673,13 @@ def _command_explore(arguments) -> int:
             workers=arguments.workers,
             retry=retry,
             fault_injector=injector,
+            tracer=tracer,
+            metrics=metrics,
         )
     try:
-        explorer = Explorer(problem, config=config, pool=pool)
+        explorer = Explorer(
+            problem, config=config, pool=pool, tracer=tracer, metrics=metrics
+        )
         results = [
             explorer.explore(
                 engine,
@@ -641,6 +691,8 @@ def _command_explore(arguments) -> int:
     finally:
         if pool is not None:
             pool.close()
+        if tracer is not None:
+            tracer.close()
 
     if arguments.json:
         best = min(results, key=lambda r: (r.best.cost, r.engine))
@@ -698,6 +750,20 @@ def _command_explore(arguments) -> int:
                   f"path schedules {stages.schedule_hits}/"
                   f"{stages.schedule_hits + stages.schedule_misses} hits "
                   f"({100.0 * stages.schedule_hit_rate:.0f}%)")
+        if result.stage_seconds is not None:
+            breakdown = ", ".join(
+                f"{stage} {seconds:.3f}s"
+                for stage, seconds in sorted(
+                    result.stage_seconds.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            ) or "no stages timed (process-mode workers are not instrumented)"
+            wall = (
+                f"{result.wall_seconds:.3f}s"
+                if result.wall_seconds is not None
+                else "-"
+            )
+            print(f"         timing: wall {wall}; stages (cumulative): "
+                  f"{breakdown}")
         if result.resumed_from is not None:
             print(f"         resumed from checkpoint at cycle "
                   f"{result.resumed_from}")
@@ -733,6 +799,14 @@ def _command_explore(arguments) -> int:
     return 0
 
 
+def _command_trace_report(path: str) -> int:
+    """Aggregate and print one trace file (the ``trace-report`` subcommand)."""
+    records = read_trace(path)
+    report = aggregate_trace(records)
+    print(format_trace_report(report, source=path))
+    return 0
+
+
 def _dispatch(arguments) -> int:
     if arguments.command == "info":
         return _command_info(arguments.system)
@@ -748,6 +822,8 @@ def _dispatch(arguments) -> int:
         )
     if arguments.command == "explore":
         return _command_explore(arguments)
+    if arguments.command == "trace-report":
+        return _command_trace_report(arguments.trace)
     raise AssertionError(f"unhandled command {arguments.command!r}")
 
 
@@ -774,6 +850,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     except CheckpointError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except TraceError as error:
+        print(f"error: invalid trace: {error}", file=sys.stderr)
         return 2
     except WorkerInitializationError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -30,6 +30,8 @@ unchanged through the parallel evaluation pool and the content-hash cache.
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -55,6 +57,26 @@ from .candidate import Candidate
 from .problem import ExplorationProblem
 
 _INFEASIBLE_COST = float("inf")
+
+
+@contextmanager
+def _timed_stage(tracer, metrics, name: str, **attrs):
+    """Time one pipeline stage into a tracer span and/or a metrics histogram.
+
+    Only entered on the instrumented path — callers keep the plain,
+    allocation-free call when both ``tracer`` and ``metrics`` are None, so
+    the disabled-path overhead the BENCH_core records gate stays ~zero.
+    """
+    span = tracer.span(f"stage.{name}", **attrs) if tracer is not None else None
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - started
+        if span is not None:
+            span.close()
+        if metrics is not None:
+            metrics.observe(f"stage.{name}.seconds", elapsed)
 
 
 @dataclass(frozen=True)
@@ -378,19 +400,29 @@ class _StagedScheduler:
     times) returns the memoized schedule without re-dispatching.  Requests
     with caller-supplied ``priorities`` (none in the pipeline) bypass the
     memo.
+
+    With a ``tracer``/``metrics`` pair, every memoized request is timed as a
+    ``path_schedule`` stage (the initial optimal schedules) or a
+    ``merge_readjust`` stage (the locked re-scheduling requests the merger
+    issues while walking its decision tree); the span records whether the
+    memo answered (``hit``).
     """
 
-    __slots__ = ("_cache", "_inner", "_path_keys")
+    __slots__ = ("_cache", "_inner", "_path_keys", "_tracer", "_metrics")
 
     def __init__(
         self,
         cache: StageCache,
         inner: PathListScheduler,
         path_keys: Dict,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self._cache = cache
         self._inner = inner
         self._path_keys = path_keys
+        self._tracer = tracer
+        self._metrics = metrics
 
     def schedule(
         self,
@@ -409,6 +441,36 @@ class _StagedScheduler:
                 locked_broadcasts=locked_broadcasts,
                 order_hint=order_hint,
             )
+        if self._tracer is None and self._metrics is None:
+            return self._memoized(
+                path, locked_starts, locked_broadcasts, order_hint
+            )[0]
+        locked = bool(locked_starts or locked_broadcasts) or order_hint is not None
+        name = "merge_readjust" if locked else "path_schedule"
+        span = (
+            self._tracer.span(f"stage.{name}", path=str(path.label))
+            if self._tracer is not None
+            else None
+        )
+        started = time.perf_counter()
+        schedule, hit = self._memoized(
+            path, locked_starts, locked_broadcasts, order_hint
+        )
+        elapsed = time.perf_counter() - started
+        if span is not None:
+            span.close(hit=hit)
+        if self._metrics is not None:
+            self._metrics.observe(f"stage.{name}.seconds", elapsed)
+        return schedule
+
+    def _memoized(
+        self,
+        path: AlternativePath,
+        locked_starts: Optional[Dict[str, float]],
+        locked_broadcasts: Optional[Dict],
+        order_hint: Optional[Dict[str, float]],
+    ) -> Tuple[PathSchedule, bool]:
+        """The memo probe + compute path; returns (schedule, served-from-memo)."""
         path_key = self._path_keys[path.label]
         key = (
             path_key,
@@ -416,7 +478,7 @@ class _StagedScheduler:
         )
         cached = self._cache.lookup_schedule(key)
         if cached is not None:
-            return cached
+            return cached, True
         context = self._cache._contexts.get(path_key)
         if context is not None:
             self._inner.adopt_context(path, context)
@@ -429,7 +491,7 @@ class _StagedScheduler:
         if context is None:
             self._cache._contexts[path_key] = self._inner.export_context(path)
         self._cache.store_schedule(key, schedule)
-        return schedule
+        return schedule, False
 
 
 @dataclass(frozen=True)
@@ -559,6 +621,8 @@ def merge_candidate(
     problem: ExplorationProblem,
     candidate: Candidate,
     stage_cache: Optional[StageCache] = None,
+    tracer=None,
+    metrics=None,
 ) -> Tuple[ExpandedGraph, MergeResult]:
     """Run the merge pipeline for one candidate, optionally staged.
 
@@ -576,17 +640,35 @@ def merge_candidate(
     is deterministic and the sub-fingerprints cover everything it observes).
     Raises the pipeline's errors (``MappingError`` etc.); callers wanting
     infinite-cost semantics use :func:`evaluate_candidate`.
+
+    ``tracer``/``metrics`` (see :mod:`repro.observability`) time the stages:
+    ``expansion``, ``path_schedule`` per alternative path (staged arm only),
+    ``merge`` (wall time including re-adjustments) and ``merge_readjust``
+    (the locked re-scheduling share within the merge).  Timing never changes
+    the result; with both None (the default), the pipeline runs exactly the
+    uninstrumented code path.
     """
     dispatch_priorities = priority_function(candidate.priority_function)
     architecture = problem.architecture_for(candidate)
+    timed = tracer is not None or metrics is not None
     if stage_cache is None:
-        expanded = expand_communications(
-            problem.graph,
-            problem.mapping_for(candidate),
-            architecture,
-            bus_assignment=problem.bus_assignment_for(candidate),
-            bus_policy=problem.bus_policy,
-        )
+        if timed:
+            with _timed_stage(tracer, metrics, "expansion"):
+                expanded = expand_communications(
+                    problem.graph,
+                    problem.mapping_for(candidate),
+                    architecture,
+                    bus_assignment=problem.bus_assignment_for(candidate),
+                    bus_policy=problem.bus_policy,
+                )
+        else:
+            expanded = expand_communications(
+                problem.graph,
+                problem.mapping_for(candidate),
+                architecture,
+                bus_assignment=problem.bus_assignment_for(candidate),
+                bus_policy=problem.bus_policy,
+            )
         scheduler = PathListScheduler(
             expanded.graph,
             expanded.mapping,
@@ -594,13 +676,24 @@ def merge_candidate(
             priority_function=dispatch_priorities,
             priority_bias=candidate.bias_dict,
         )
-        result = ScheduleMerger(
+        merger = ScheduleMerger(
             expanded.graph, expanded.mapping, architecture, scheduler
-        ).merge()
+        )
+        if timed:
+            # The monolithic merge schedules paths internally, so its span
+            # covers path scheduling too (no separate path_schedule stage).
+            with _timed_stage(tracer, metrics, "merge"):
+                result = merger.merge()
+        else:
+            result = merger.merge()
         return expanded, result
 
     pins = problem.bus_assignment_for(candidate) or {}
-    expanded, paths = stage_cache.expansion(problem, candidate, pins=pins)
+    if timed:
+        with _timed_stage(tracer, metrics, "expansion"):
+            expanded, paths = stage_cache.expansion(problem, candidate, pins=pins)
+    else:
+        expanded, paths = stage_cache.expansion(problem, candidate, pins=pins)
     inner = PathListScheduler(
         expanded.graph,
         expanded.mapping,
@@ -622,11 +715,18 @@ def merge_candidate(
         )
         for path in paths
     }
-    scheduler = _StagedScheduler(stage_cache, inner, path_keys)
+    scheduler = _StagedScheduler(
+        stage_cache, inner, path_keys, tracer=tracer, metrics=metrics
+    )
     path_schedules = {path.label: scheduler.schedule(path) for path in paths}
-    result = ScheduleMerger(
+    merger = ScheduleMerger(
         expanded.graph, expanded.mapping, architecture, scheduler
-    ).merge(paths=list(paths), path_schedules=path_schedules)
+    )
+    if timed:
+        with _timed_stage(tracer, metrics, "merge"):
+            result = merger.merge(paths=list(paths), path_schedules=path_schedules)
+    else:
+        result = merger.merge(paths=list(paths), path_schedules=path_schedules)
     return expanded, result
 
 
@@ -635,6 +735,8 @@ def evaluate_candidate(
     candidate: Candidate,
     weights: CostWeights = CostWeights(),
     stage_cache: Optional[StageCache] = None,
+    tracer=None,
+    metrics=None,
 ) -> CandidateEvaluation:
     """Score one candidate by running the merge pipeline end to end.
 
@@ -643,13 +745,27 @@ def evaluate_candidate(
     cost instead of raising, so a search can step over them.  With a
     ``stage_cache`` the pipeline runs incrementally (see
     :func:`merge_candidate`); the evaluation is bit-identical either way.
+
+    ``tracer``/``metrics`` wrap the whole evaluation in an ``evaluate`` span
+    / latency histogram and time the pipeline stages inside (see
+    :func:`merge_candidate`); both default to None, which keeps the exact
+    uninstrumented code path.
     """
+    timed = tracer is not None or metrics is not None
+    span = tracer.span("evaluate") if tracer is not None else None
+    started = time.perf_counter() if timed else 0.0
     try:
         expanded, result = merge_candidate(
-            problem, candidate, stage_cache=stage_cache
+            problem, candidate, stage_cache=stage_cache,
+            tracer=tracer, metrics=metrics,
         )
         architecture = problem.architecture_for(candidate)
     except (ArchitectureError, MappingError, SchedulingError, MergeConflictError) as error:
+        if timed:
+            if metrics is not None:
+                metrics.observe("evaluate.seconds", time.perf_counter() - started)
+            if span is not None:
+                span.close(feasible=False)
         return CandidateEvaluation(
             fingerprint=candidate.fingerprint,
             cost=_INFEASIBLE_COST,
@@ -669,6 +785,11 @@ def evaluate_candidate(
         + weights.architecture_cost * platform_cost
         + weights.bus_imbalance * contention
     )
+    if timed:
+        if metrics is not None:
+            metrics.observe("evaluate.seconds", time.perf_counter() - started)
+        if span is not None:
+            span.close(feasible=True)
     return CandidateEvaluation(
         fingerprint=candidate.fingerprint,
         cost=cost,

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -186,6 +187,17 @@ class ExplorationResult:
     #: The cycle this run was restored at when it resumed from a checkpoint
     #: (None for a run started from scratch).
     resumed_from: Optional[int] = None
+    #: Wall-clock seconds per pipeline stage (``expansion``,
+    #: ``path_schedule``, ``merge``, ``merge_readjust``), from the metrics
+    #: registry — cumulative like ``cache`` when several engines share one
+    #: explorer.  None unless the evaluator carries a
+    #: :class:`~repro.observability.MetricsRegistry` (``--metrics``); empty
+    #: when a process-mode pool scored every evaluation (workers are not
+    #: instrumented).
+    stage_seconds: Optional[Dict[str, float]] = None
+    #: Wall-clock duration of this ``run()`` call in seconds; None unless
+    #: metrics are enabled (keeps the default result byte-deterministic).
+    wall_seconds: Optional[float] = None
 
     @property
     def improved(self) -> bool:
@@ -213,8 +225,54 @@ class _EngineBase:
         self._evaluator = evaluator
         self._sampler = sampler
         self._stopping = list(stopping)
+        # Observability hooks ride along on the shared evaluator; both are
+        # None by default, keeping every engine loop on the plain code path.
+        self._tracer = evaluator.tracer
+        self._metrics = evaluator.metrics
 
     # -- common plumbing -----------------------------------------------------
+
+    def _begin_run(self):
+        """Open the per-run ``engine`` span and wall clock (no-ops when off)."""
+        span = (
+            self._tracer.span("engine", engine=self.name)
+            if self._tracer is not None
+            else None
+        )
+        started = time.perf_counter() if self._metrics is not None else 0.0
+        return span, started
+
+    def _finish_run(self, span, started: float, cycles: int) -> Dict[str, Any]:
+        """Close the engine span; return ExplorationResult timing fields.
+
+        Closing the engine span also closes any cycle span a ``break`` left
+        open (span close pops open descendants), so engine loops may exit
+        mid-cycle without leaking records.
+        """
+        if span is not None:
+            span.close(cycles=cycles)
+        if self._metrics is None:
+            return {"stage_seconds": None, "wall_seconds": None}
+        return {
+            "stage_seconds": self._metrics.snapshot().stage_seconds(),
+            "wall_seconds": time.perf_counter() - started,
+        }
+
+    def _begin_cycle(self):
+        """Open one ``cycle`` span + its clock (no-ops when off)."""
+        span = self._tracer.span("cycle") if self._tracer is not None else None
+        started = time.perf_counter() if self._metrics is not None else 0.0
+        return span, started
+
+    def _end_cycle(self, span, started: float, cycle: int) -> None:
+        """Close a completed cycle's span and record its wall time."""
+        if span is not None:
+            span.close(cycle=cycle)
+        if self._metrics is not None:
+            self._metrics.observe(
+                f"engine.{self.name}.cycle.seconds",
+                time.perf_counter() - started,
+            )
 
     def _stop_reason(self, state: SearchState) -> Optional[str]:
         for criterion in self._stopping:
@@ -262,6 +320,7 @@ class TabuSearchEngine(_EngineBase):
         checkpointer: Optional[Checkpointer] = None,
     ) -> ExplorationResult:
         config = self._config
+        engine_span, run_started = self._begin_run()
         resumed_from: Optional[int] = None
         if resume is not None:
             rng = random.Random()
@@ -309,6 +368,7 @@ class TabuSearchEngine(_EngineBase):
 
         reason = self._stop_reason(state)
         while reason is None:
+            cycle_span, cycle_started = self._begin_cycle()
             neighbors = self._sampler.sample(
                 current, rng, config.neighbors_per_cycle
             )
@@ -359,6 +419,7 @@ class TabuSearchEngine(_EngineBase):
                     accepted=1,
                 )
             )
+            self._end_cycle(cycle_span, cycle_started, state.cycle)
             self._maybe_checkpoint(checkpointer, state.cycle, snapshot)
             reason = self._stop_reason(state)
 
@@ -383,6 +444,7 @@ class TabuSearchEngine(_EngineBase):
                 if self._evaluator.front is not None
                 else None
             ),
+            **self._finish_run(engine_span, run_started, state.cycle),
         )
 
 
@@ -398,6 +460,7 @@ class SimulatedAnnealingEngine(_EngineBase):
         checkpointer: Optional[Checkpointer] = None,
     ) -> ExplorationResult:
         config = self._config
+        engine_span, run_started = self._begin_run()
         resumed_from: Optional[int] = None
         if resume is not None:
             rng = random.Random()
@@ -447,6 +510,7 @@ class SimulatedAnnealingEngine(_EngineBase):
 
         reason = self._stop_reason(state)
         while reason is None:
+            cycle_span, cycle_started = self._begin_cycle()
             proposals = self._sampler.sample(
                 current, rng, config.neighbors_per_cycle
             )
@@ -496,6 +560,7 @@ class SimulatedAnnealingEngine(_EngineBase):
                     accepted=accepted,
                 )
             )
+            self._end_cycle(cycle_span, cycle_started, state.cycle)
             self._maybe_checkpoint(checkpointer, state.cycle, snapshot)
             reason = self._stop_reason(state)
 
@@ -520,6 +585,7 @@ class SimulatedAnnealingEngine(_EngineBase):
                 if self._evaluator.front is not None
                 else None
             ),
+            **self._finish_run(engine_span, run_started, state.cycle),
         )
 
 
@@ -549,14 +615,20 @@ class Explorer:
         evaluator: Optional[CachedEvaluator] = None,
         pool: Optional[EvaluationPool] = None,
         stopping: Optional[Sequence[StoppingCriterion]] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self._problem = problem
         self._config = config or ExplorationConfig()
+        # tracer/metrics (repro.observability) apply to the evaluator the
+        # explorer constructs; an explicitly-passed evaluator keeps its own.
         self._evaluator = evaluator or CachedEvaluator(
             problem,
             self._config.weights,
             pool=pool,
             front=ParetoFront() if self._config.track_front else None,
+            tracer=tracer,
+            metrics=metrics,
         )
         self._sampler = NeighborhoodSampler(
             problem, priority_choices=self._config.priority_choices

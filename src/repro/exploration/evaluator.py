@@ -77,6 +77,16 @@ class CachedEvaluator:
         pool, every miss is scored by the pool's own stage caches
         (configure them via ``EvaluationPool(stage_caching=...)``), so this
         setting is ignored and no evaluator-side cache is created.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`.  Serial fresh
+        evaluations run inside ``evaluate``/``stage.*`` spans; with a pool
+        the pool's own tracer takes over (pass it the same tracer).  None
+        (the default) keeps the uninstrumented code path.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry` receiving
+        ``cache.hits``/``cache.misses`` counters and — on the serial path —
+        the stage/evaluate latency histograms.  None disables, with ~zero
+        overhead.
     """
 
     def __init__(
@@ -87,6 +97,8 @@ class CachedEvaluator:
         cache: bool = True,
         front: Optional[ParetoFront] = None,
         stage_cache: Union[bool, StageCache] = True,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if pool is not None and pool.weights != weights:
             raise ValueError(
@@ -98,6 +110,8 @@ class CachedEvaluator:
         self._pool = pool
         self._enabled = cache
         self._front = front
+        self._tracer = tracer
+        self._metrics = metrics
         self._cache: Dict[str, CandidateEvaluation] = {}
         self._hits = 0
         self._misses = 0
@@ -122,6 +136,16 @@ class CachedEvaluator:
     def front(self) -> Optional[ParetoFront]:
         """The Pareto front fresh evaluations feed, or None when not tracking."""
         return self._front
+
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.observability.Tracer`, or None."""
+        return self._tracer
+
+    @property
+    def metrics(self):
+        """The attached :class:`~repro.observability.MetricsRegistry`, or None."""
+        return self._metrics
 
     @property
     def stats(self) -> CacheStats:
@@ -173,6 +197,8 @@ class CachedEvaluator:
         """
         if not self._enabled:
             self._misses += len(candidates)
+            if self._metrics is not None:
+                self._metrics.count("cache.misses", len(candidates))
             evaluations = self._evaluate_fresh(list(candidates))
             if self._front is not None:
                 self._front.offer_many(candidates, evaluations)
@@ -180,16 +206,24 @@ class CachedEvaluator:
 
         fresh: List[Candidate] = []
         fresh_keys: Dict[str, int] = {}
+        batch_hits = 0
         for candidate in candidates:
             key = candidate.fingerprint
             if key in self._cache:
                 self._hits += 1
+                batch_hits += 1
             elif key in fresh_keys:
                 self._hits += 1
+                batch_hits += 1
             else:
                 fresh_keys[key] = len(fresh)
                 fresh.append(candidate)
                 self._misses += 1
+        if self._metrics is not None:
+            if batch_hits:
+                self._metrics.count("cache.hits", batch_hits)
+            if fresh:
+                self._metrics.count("cache.misses", len(fresh))
         if fresh:
             evaluations = self._evaluate_fresh(fresh)
             for candidate, evaluation in zip(fresh, evaluations):
@@ -209,6 +243,8 @@ class CachedEvaluator:
                 candidate,
                 self._weights,
                 stage_cache=self._stage_cache,
+                tracer=self._tracer,
+                metrics=self._metrics,
             )
             for candidate in candidates
         ]

@@ -231,6 +231,7 @@ class GeneticEngine(_EngineBase):
     ) -> ExplorationResult:
         """Evolve a population from the seed candidate; report best + front."""
         config = self._config
+        engine_span, run_started = self._begin_run()
         front = self._evaluator.front
         offers_frontwards = front is None  # otherwise the evaluator offers
         resumed_from: Optional[int] = None
@@ -307,6 +308,7 @@ class GeneticEngine(_EngineBase):
 
         reason = self._stop_reason(state)
         while reason is None:
+            cycle_span, cycle_started = self._begin_cycle()
             ranks, crowding = self._rank(evaluations)
             children: List[Candidate] = []
             for _ in range(config.population_size):
@@ -374,6 +376,7 @@ class GeneticEngine(_EngineBase):
                     accepted=fresh_survivors,
                 )
             )
+            self._end_cycle(cycle_span, cycle_started, state.cycle)
             self._maybe_checkpoint(checkpointer, state.cycle, snapshot)
             reason = self._stop_reason(state)
 
@@ -394,4 +397,5 @@ class GeneticEngine(_EngineBase):
             resilience=self._evaluator.resilience_stats,
             resumed_from=resumed_from,
             front=front.snapshot(),
+            **self._finish_run(engine_span, run_started, state.cycle),
         )

@@ -178,6 +178,8 @@ class EvaluationPool:
         stage_caching: bool = True,
         retry: Optional[RetryPolicy] = None,
         fault_injector: Optional[FaultInjector] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if mode not in ("auto", "serial", "thread", "process"):
             raise ValueError(
@@ -203,6 +205,12 @@ class EvaluationPool:
         self._armed = retry is not None or fault_injector is not None
         self._retry = retry if retry is not None else RetryPolicy()
         self._injector = fault_injector
+        # Observability (repro.observability): resilience decisions become
+        # first-class trace events and pool.* metrics.  Process workers stay
+        # uninstrumented — their spans would live in another process; the
+        # coordinator-side unit latency / queue depth still tell the story.
+        self._tracer = tracer
+        self._metrics = metrics
         self._counters = _ResilienceCounters()
         self._degraded = False
         self._payload: Optional[Dict[str, Any]] = None
@@ -233,6 +241,13 @@ class EvaluationPool:
     def resilience_stats(self) -> ResilienceStats:
         """Fault/retry counters accumulated over the pool's lifetime."""
         return self._counters.snapshot()
+
+    def _resilience(self, event: str, counter: str, **attrs) -> None:
+        """Record one resilience decision as a trace event + pool counter."""
+        if self._tracer is not None:
+            self._tracer.event(event, **attrs)
+        if self._metrics is not None:
+            self._metrics.count(counter)
 
     @property
     def stage_stats(self) -> Optional[StageStats]:
@@ -309,6 +324,9 @@ class EvaluationPool:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
         self._counters.worker_restarts += 1
+        self._resilience(
+            "resilience.worker_restart", "pool.worker_restarts", mode=self._mode
+        )
         if self._stage_cache is not None:
             # An abandoned hung thread may still be writing into the shared
             # in-process cache; verify the survivors before reusing them.
@@ -318,6 +336,7 @@ class EvaluationPool:
         """Give up on pooled execution; evaluate in-process from now on."""
         self._degraded = True
         self._counters.degraded = True
+        self._resilience("resilience.degrade", "pool.degraded", mode=self._mode)
         if self._stage_cache is not None:
             self._counters.integrity_evictions += self._stage_cache.check_integrity()
         elif self._stage_caching:
@@ -352,6 +371,8 @@ class EvaluationPool:
             candidate,
             self._weights,
             stage_cache=self._stage_cache,
+            tracer=self._tracer,
+            metrics=self._metrics,
         )
 
     def _evaluate_serial(
@@ -377,6 +398,10 @@ class EvaluationPool:
                 except Exception as exc:
                     if isinstance(exc, InjectedFault):
                         self._counters.injected += 1
+                        self._resilience(
+                            "resilience.fault_injected", "pool.injected",
+                            fingerprint=candidate.fingerprint, attempt=attempt,
+                        )
                     attempt += 1
                     failures += 1
                     error = str(exc)
@@ -387,8 +412,16 @@ class EvaluationPool:
                             )
                         )
                         self._counters.quarantined += 1
+                        self._resilience(
+                            "resilience.quarantine", "pool.quarantined",
+                            fingerprint=candidate.fingerprint, failures=failures,
+                        )
                         break
                     self._counters.retries += 1
+                    self._resilience(
+                        "resilience.retry", "pool.retries",
+                        fingerprint=candidate.fingerprint, attempt=attempt,
+                    )
                     delay = self._retry.delay_for(failures, candidate.fingerprint)
                     if delay > 0:
                         time.sleep(delay)
@@ -435,6 +468,13 @@ class EvaluationPool:
                 break
 
             executor = self._ensure_executor()
+            if self._metrics is not None:
+                # High-water gauges (merges keep the max across snapshots).
+                self._metrics.gauge("pool.queue_depth", float(len(pending)))
+                self._metrics.gauge("pool.workers", float(self._workers))
+            round_started = (
+                time.perf_counter() if self._metrics is not None else 0.0
+            )
             submitted: List[Tuple[Future, Tuple[int, ...]]] = []
             unsubmitted: List[Tuple[int, ...]] = []
             broken = False
@@ -477,8 +517,17 @@ class EvaluationPool:
                     values = future.result(timeout=self._unit_timeout(unit))
                     self._record(results, unit, values)
                     progress = True
+                    if self._metrics is not None:
+                        # Coordinator-side submit-to-harvest latency per unit.
+                        self._metrics.observe(
+                            "pool.unit.seconds",
+                            time.perf_counter() - round_started,
+                        )
                 except TimeoutError:
                     self._counters.timeouts += 1
+                    self._resilience(
+                        "resilience.timeout", "pool.timeouts", unit=len(unit)
+                    )
                     broken = True  # a worker is stuck; tear the pool down
                     self._attribute_failure(
                         unit, attempts, failures, results, candidates,
@@ -541,6 +590,11 @@ class EvaluationPool:
                 fault = self._injector.fault_for(candidate.fingerprint, attempt)
                 if fault is not None:
                     self._counters.injected += 1
+                    self._resilience(
+                        "resilience.fault_injected", "pool.injected",
+                        fingerprint=candidate.fingerprint,
+                        attempt=attempt, fault=fault,
+                    )
                 if fault == "hang":
                     time.sleep(self._injector.hang_seconds)
                 elif fault is not None:
@@ -580,6 +634,7 @@ class EvaluationPool:
         if len(unit) > 1:
             # Isolate the poison: retry members individually.
             self._counters.retries += 1
+            self._resilience("resilience.retry", "pool.retries", unit=len(unit))
             for index in unit:
                 resubmit.append((index,))
             return
@@ -590,6 +645,15 @@ class EvaluationPool:
                 candidates[index].fingerprint, failures[index], error
             )
             self._counters.quarantined += 1
+            self._resilience(
+                "resilience.quarantine", "pool.quarantined",
+                fingerprint=candidates[index].fingerprint,
+                failures=failures[index],
+            )
         else:
             self._counters.retries += 1
+            self._resilience(
+                "resilience.retry", "pool.retries",
+                fingerprint=candidates[index].fingerprint,
+            )
             resubmit.append(unit)

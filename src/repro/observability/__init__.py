@@ -1,0 +1,77 @@
+"""Observability: structured tracing, metrics and profiling hooks.
+
+The exploration runtime reports *what* happened (cache hit rates, fault
+counters, trajectories) but — before this package — not *where wall-clock
+time goes*.  This package is the missing timing spine, mirroring how the
+source paper itself argues (measured schedule-table generation time):
+
+* :class:`Tracer` — structured span/event records with run ids, monotonic
+  timestamps and parent-span nesting, emitted to a :class:`JsonlSink` (the
+  ``repro-cpg explore --trace FILE`` format) or an in-memory
+  :class:`RingBufferSink`; the disabled default (:data:`NULL_TRACER`) costs
+  one attribute access and allocates nothing;
+* :class:`MetricsRegistry` — named counters, gauges and histograms whose
+  frozen :class:`MetricsSnapshot` views merge, so per-worker metrics fold
+  into one run-level profile;
+* :func:`aggregate_trace` / :func:`format_trace_report` — the
+  ``repro-cpg trace-report`` aggregation from a raw trace to the per-stage /
+  per-engine wall-time tables that seed the evaluator-flattening work.
+
+Everything here is dependency-free and imports nothing from the rest of
+``repro`` (except the table formatter, lazily), so any layer — graph,
+scheduling, exploration, CLI — can instrument itself without import cycles.
+See ``docs/observability.md`` for the record schema and the metric-name
+catalogue.
+"""
+
+from .metrics import (
+    HistogramStats,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
+from .report import (
+    StageProfile,
+    TraceReport,
+    aggregate_trace,
+    format_trace_report,
+)
+from .trace import (
+    NULL_TRACER,
+    RECORD_KEYS,
+    TRACE_SCHEMA_VERSION,
+    JsonlSink,
+    NullTracer,
+    RingBufferSink,
+    Span,
+    TraceError,
+    Tracer,
+    iter_spans,
+    read_trace,
+    tracer_or_null,
+    validate_record,
+)
+
+__all__ = [
+    "HistogramStats",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_TRACER",
+    "NullTracer",
+    "RECORD_KEYS",
+    "RingBufferSink",
+    "Span",
+    "StageProfile",
+    "TRACE_SCHEMA_VERSION",
+    "TraceError",
+    "TraceReport",
+    "Tracer",
+    "aggregate_trace",
+    "format_trace_report",
+    "iter_spans",
+    "merge_snapshots",
+    "read_trace",
+    "tracer_or_null",
+    "validate_record",
+]

@@ -1,0 +1,550 @@
+"""Tests of the observability layer: tracing, metrics, trace reports.
+
+The contract under test, in four parts.  (1) The disabled path is free:
+``NULL_TRACER`` hands out one shared no-op span and instrumented layers
+default to ``tracer=None``/``metrics=None``, so results are bit-identical
+with observability on or off.  (2) Traces are schema-strict and
+deterministic: the same seed produces the same span/event sequence modulo
+timestamps.  (3) Metrics snapshots merge correctly: per-worker registries
+fold into the same view one shared registry would have produced.  (4) The
+resilience machinery surfaces as first-class trace events under the fault
+matrix, and ``repro-cpg trace-report`` aggregates it all into per-stage
+wall-time tables.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exploration import (
+    CachedEvaluator,
+    EvaluationPool,
+    ExplorationConfig,
+    ExplorationProblem,
+    Explorer,
+    FaultInjector,
+    RetryPolicy,
+)
+from repro.generator import generate_system
+from repro.observability import (
+    NULL_TRACER,
+    RECORD_KEYS,
+    HistogramStats,
+    JsonlSink,
+    MetricsRegistry,
+    MetricsSnapshot,
+    RingBufferSink,
+    TraceError,
+    Tracer,
+    aggregate_trace,
+    format_trace_report,
+    iter_spans,
+    merge_snapshots,
+    read_trace,
+    tracer_or_null,
+    validate_record,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    """A small seeded problem (16 nodes, 2 alternative paths)."""
+    return ExplorationProblem.from_system(generate_system(16, 2, seed=3))
+
+
+def _explore(problem, tracer=None, metrics=None, engine="tabu", seed=3):
+    config = ExplorationConfig(seed=seed, max_cycles=3, neighbors_per_cycle=4)
+    explorer = Explorer(problem, config=config, tracer=tracer, metrics=metrics)
+    return explorer.explore(engine)
+
+
+# -- schema ------------------------------------------------------------------------
+
+
+def _record(**overrides):
+    base = {
+        "type": "span",
+        "run": "r",
+        "seq": 0,
+        "id": 1,
+        "parent": None,
+        "name": "engine",
+        "t0": 0.0,
+        "dt": 0.5,
+        "attrs": {"engine": "tabu"},
+    }
+    base.update(overrides)
+    return base
+
+
+def test_valid_record_passes():
+    record = _record()
+    assert validate_record(record) is record
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"type": "other"},
+        {"run": ""},
+        {"run": 7},
+        {"seq": True},
+        {"id": "x"},
+        {"parent": "x"},
+        {"name": ""},
+        {"t0": -1.0},
+        {"dt": "fast"},
+        {"dt": -0.1},
+        {"attrs": [1]},
+        {"attrs": {"bad": [1, 2]}},
+    ],
+)
+def test_invalid_field_rejected(mutation):
+    with pytest.raises(TraceError):
+        validate_record(_record(**mutation))
+
+
+def test_missing_and_unknown_keys_rejected():
+    record = _record()
+    del record["name"]
+    with pytest.raises(TraceError, match="missing"):
+        validate_record(record)
+    with pytest.raises(TraceError, match="unknown"):
+        validate_record(_record(extra=1))
+
+
+def test_non_dict_record_rejected():
+    with pytest.raises(TraceError):
+        validate_record(["span"])
+
+
+# -- tracer ------------------------------------------------------------------------
+
+
+def test_spans_nest_and_events_attach():
+    sink = RingBufferSink()
+    tracer = Tracer(sink, run_id="t")
+    with tracer.span("engine", engine="tabu") as engine:
+        with tracer.span("cycle") as cycle:
+            tracer.event("resilience.retry", attempt=1)
+    tracer.close()
+    records = sink.records
+    for record in records:
+        validate_record(record)
+    by_name = {record["name"]: record for record in records}
+    assert by_name["cycle"]["parent"] == engine.span_id
+    assert by_name["resilience.retry"]["parent"] == cycle.span_id
+    assert by_name["resilience.retry"]["dt"] == 0.0
+    assert by_name["engine"]["parent"] is None
+    # Spans emit at close: children precede parents; seq restores order.
+    assert [r["name"] for r in records] == [
+        "resilience.retry", "cycle", "engine",
+    ]
+    assert [r["seq"] for r in records] == [0, 1, 2]
+
+
+def test_close_pops_open_descendants():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    outer = tracer.span("outer")
+    tracer.span("inner")  # left open, as after a loop ``break``
+    outer.close()
+    names = [record["name"] for record in sink.records]
+    assert names == ["inner", "outer"]
+    assert sink.records[0]["parent"] == outer.span_id
+
+
+def test_close_attrs_and_duration():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    span = tracer.span("stage.merge")
+    duration = span.close(hit=True)
+    assert duration >= 0.0
+    assert span.close() == 0.0  # idempotent
+    record = sink.records[0]
+    assert record["attrs"] == {"hit": True}
+    assert record["dt"] >= 0.0 and record["t0"] >= 0.0
+
+
+def test_ring_buffer_evicts_oldest():
+    sink = RingBufferSink(capacity=2)
+    tracer = Tracer(sink)
+    for index in range(4):
+        tracer.span(f"s{index}").close()
+    assert [record["name"] for record in sink.records] == ["s2", "s3"]
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+def test_jsonl_sink_roundtrip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(JsonlSink(path), run_id="roundtrip")
+    with tracer.span("engine", engine="anneal"):
+        tracer.event("resilience.timeout")
+    tracer.close()
+    records = read_trace(path)
+    assert [record["name"] for record in records] == [
+        "resilience.timeout", "engine",
+    ]
+    assert all(record["run"] == "roundtrip" for record in records)
+    assert list(iter_spans(records)) == [records[1]]
+
+
+def test_read_trace_rejects_bad_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(TraceError, match=":1:"):
+        read_trace(path)
+    path.write_text(json.dumps({"type": "span"}) + "\n")
+    with pytest.raises(TraceError, match="missing"):
+        read_trace(path)
+
+
+# -- disabled-path guarantees ------------------------------------------------------
+
+
+def test_null_tracer_allocates_no_spans():
+    # The no-op path hands out one shared span instance: identity, not just
+    # equality — the disabled path must not allocate per call.
+    assert NULL_TRACER.span("a") is NULL_TRACER.span("b", attr=1)
+    assert NULL_TRACER.span("a").close(attr=2) == 0.0
+    assert NULL_TRACER.event("x") is None
+    assert NULL_TRACER.enabled is False
+    with NULL_TRACER.span("ctx") as span:
+        assert span is NULL_TRACER.span("ctx")
+    NULL_TRACER.close()
+
+
+def test_tracer_or_null():
+    assert tracer_or_null(None) is NULL_TRACER
+    tracer = Tracer(RingBufferSink())
+    assert tracer_or_null(tracer) is tracer
+
+
+def test_default_result_carries_no_timing(problem):
+    result = _explore(problem)
+    assert result.stage_seconds is None
+    assert result.wall_seconds is None
+
+
+def test_instrumented_run_is_bit_identical_to_plain(problem):
+    plain = _explore(problem)
+    traced = _explore(
+        problem, tracer=Tracer(RingBufferSink()), metrics=MetricsRegistry()
+    )
+    assert traced.best == plain.best
+    assert traced.trajectory == plain.trajectory
+    assert traced.evaluations == plain.evaluations
+
+
+# -- determinism -------------------------------------------------------------------
+
+
+def _normalised(records):
+    """Trace records with the timing fields zeroed (determinism yardstick)."""
+    return [{**record, "t0": 0.0, "dt": 0.0} for record in records]
+
+
+def test_trace_is_deterministic_modulo_timestamps(problem):
+    sequences = []
+    for _ in range(2):
+        sink = RingBufferSink(capacity=100_000)
+        _explore(problem, tracer=Tracer(sink), metrics=MetricsRegistry())
+        sequences.append(_normalised(sink.records))
+    assert sequences[0] == sequences[1]
+
+
+# -- metrics -----------------------------------------------------------------------
+
+
+def test_registry_counters_gauges_histograms():
+    registry = MetricsRegistry()
+    registry.count("cache.hits")
+    registry.count("cache.hits", 2)
+    registry.gauge("pool.queue_depth", 5.0)
+    registry.observe("stage.merge.seconds", 0.25)
+    registry.observe("stage.merge.seconds", 0.75)
+    snapshot = registry.snapshot()
+    assert snapshot.counters["cache.hits"] == 3.0
+    assert snapshot.gauges["pool.queue_depth"] == 5.0
+    stats = snapshot.histograms["stage.merge.seconds"]
+    assert stats.count == 2
+    assert stats.total == 1.0
+    assert stats.minimum == 0.25 and stats.maximum == 0.75
+    assert stats.mean == 0.5
+    assert snapshot.stage_seconds() == {"merge": 1.0}
+
+
+def test_snapshot_is_frozen_copy():
+    registry = MetricsRegistry()
+    registry.count("c")
+    snapshot = registry.snapshot()
+    registry.count("c")
+    assert snapshot.counters["c"] == 1.0
+    assert registry.snapshot().counters["c"] == 2.0
+
+
+def test_merge_equals_single_registry():
+    # Per-worker registries folded together must equal one shared registry
+    # that saw every write — the property pool-mode reporting relies on.
+    observations = [0.1, 0.4, 0.2, 0.9, 0.3, 0.6]
+    shared = MetricsRegistry()
+    workers = [MetricsRegistry() for _ in range(3)]
+    for index, value in enumerate(observations):
+        for registry in (shared, workers[index % 3]):
+            registry.observe("stage.expansion.seconds", value)
+            registry.count("cache.misses")
+    shared.gauge("pool.queue_depth", 7.0)
+    workers[0].gauge("pool.queue_depth", 3.0)
+    workers[2].gauge("pool.queue_depth", 7.0)
+    merged = merge_snapshots(*[worker.snapshot() for worker in workers])
+    expected = shared.snapshot()
+    assert merged.counters == expected.counters
+    assert merged.gauges == expected.gauges
+    assert merged.histograms == expected.histograms
+    assert merged.stage_seconds() == expected.stage_seconds()
+
+
+def test_merge_snapshots_skips_none_and_handles_empty():
+    snapshot = MetricsSnapshot(counters={"a": 1.0})
+    merged = merge_snapshots(None, snapshot, None)
+    assert merged.counters == {"a": 1.0}
+    assert merge_snapshots().counters == {}
+    empty = HistogramStats()
+    assert empty.combined(HistogramStats(count=1, total=2.0)).total == 2.0
+    assert empty.mean == 0.0
+
+
+# -- instrumented pipeline ---------------------------------------------------------
+
+
+def test_metrics_cover_every_stage(problem):
+    metrics = MetricsRegistry()
+    result = _explore(problem, metrics=metrics)
+    assert result.wall_seconds is not None and result.wall_seconds > 0
+    assert set(result.stage_seconds) >= {
+        "expansion", "path_schedule", "merge",
+    }
+    snapshot = metrics.snapshot()
+    assert snapshot.counters["cache.misses"] > 0
+    assert snapshot.histograms["evaluate.seconds"].count == result.evaluations
+    assert "engine.tabu.cycle.seconds" in snapshot.histograms
+
+
+def test_trace_covers_stages_and_engines(problem):
+    sink = RingBufferSink(capacity=100_000)
+    _explore(problem, tracer=Tracer(sink), engine="anneal")
+    report = aggregate_trace(sink.records)
+    assert {"expansion", "path_schedule", "merge"} <= set(report.stages)
+    assert report.per_engine[("anneal", "merge")].count > 0
+    assert report.engines["anneal"] > 0
+    # evaluate spans exist but are not stages.
+    assert "evaluate" not in report.stages
+
+
+def test_genetic_engine_traces_generations(problem):
+    sink = RingBufferSink(capacity=100_000)
+    metrics = MetricsRegistry()
+    result = _explore(problem, tracer=Tracer(sink), metrics=metrics,
+                      engine="genetic")
+    assert result.stage_seconds is not None
+    names = {record["name"] for record in sink.records}
+    assert {"engine", "cycle", "evaluate"} <= names
+    assert "engine.genetic.cycle.seconds" in metrics.snapshot().histograms
+
+
+def test_thread_pool_shares_tracer_and_metrics(problem):
+    metrics = MetricsRegistry()
+    tracer = Tracer(RingBufferSink(capacity=100_000))
+    batch = []
+    initial = problem.initial_candidate()
+    batch.append(initial)
+    for process in problem.movable_processes[:3]:
+        targets = [
+            pe for pe in problem.processor_names
+            if pe != initial.pe_of(process)
+        ]
+        batch.append(initial.reassigned(process, targets[0]))
+    with EvaluationPool(problem, mode="serial") as reference_pool:
+        reference = reference_pool.evaluate(batch)
+    with EvaluationPool(
+        problem, mode="thread", workers=2, tracer=tracer, metrics=metrics
+    ) as pool:
+        evaluations = pool.evaluate(batch)
+    assert evaluations == reference
+    snapshot = metrics.snapshot()
+    assert snapshot.histograms["evaluate.seconds"].count == len(batch)
+    assert snapshot.histograms["pool.unit.seconds"].count > 0
+    assert snapshot.gauges["pool.queue_depth"] >= 1.0
+
+
+# -- resilience events -------------------------------------------------------------
+
+
+def test_fault_matrix_emits_resilience_events(problem):
+    batch = [problem.initial_candidate()]
+    for process in problem.movable_processes[:4]:
+        targets = [
+            pe for pe in problem.processor_names
+            if pe != batch[0].pe_of(process)
+        ]
+        batch.append(batch[0].reassigned(process, targets[0]))
+    with EvaluationPool(problem, mode="serial") as clean_pool:
+        clean = clean_pool.evaluate(batch)
+
+    sink = RingBufferSink(capacity=100_000)
+    metrics = MetricsRegistry()
+    injector = FaultInjector(seed=3, crash_rate=0.5)
+    with EvaluationPool(
+        problem,
+        mode="serial",
+        retry=RetryPolicy(backoff_base=0.0),
+        fault_injector=injector,
+        tracer=Tracer(sink),
+        metrics=metrics,
+    ) as pool:
+        faulted = pool.evaluate(batch)
+        stats = pool.resilience_stats
+    # Faults change nothing about the evaluations...
+    assert faulted == clean
+    assert stats.injected > 0
+    # ...but every injection and retry is a first-class trace event,
+    events = [r for r in sink.records if r["type"] == "event"]
+    names = [record["name"] for record in events]
+    assert names.count("resilience.fault_injected") == stats.injected
+    assert names.count("resilience.retry") == stats.retries
+    for record in events:
+        assert record["attrs"].get("fingerprint")
+    # ...mirrored into the pool.* counters,
+    counters = metrics.snapshot().counters
+    assert counters["pool.injected"] == stats.injected
+    assert counters["pool.retries"] == stats.retries
+    # ...and tallied by trace-report aggregation.
+    report = aggregate_trace(sink.records)
+    assert report.events["resilience.fault_injected"] == stats.injected
+
+
+def test_quarantine_event_when_retries_exhausted(problem):
+    candidate = problem.initial_candidate()
+    sink = RingBufferSink()
+    with EvaluationPool(
+        problem,
+        mode="serial",
+        retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+        fault_injector=FaultInjector(seed=3, crash_rate=1.0),
+        tracer=Tracer(sink),
+    ) as pool:
+        (evaluation,) = pool.evaluate([candidate])
+    assert not evaluation.feasible
+    names = [r["name"] for r in sink.records if r["type"] == "event"]
+    assert "resilience.quarantine" in names
+
+
+# -- trace report ------------------------------------------------------------------
+
+
+def test_report_substage_not_double_counted():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    with tracer.span("engine", engine="tabu"):
+        with tracer.span("stage.merge"):
+            tracer.span("stage.merge_readjust").close()
+    tracer.close()
+    report = aggregate_trace(sink.records)
+    merge = report.stages["merge"]
+    # merge_readjust time is inside merge's span: excluded from the total.
+    assert report.profiled_seconds == pytest.approx(merge.total_seconds)
+    rows = {row[0]: row for row in report.stage_rows()}
+    assert rows["merge_readjust"][4] == "(in merge)"
+    assert rows["merge"][4].endswith("%")
+    assert report.per_engine[("tabu", "merge_readjust")].count == 1
+
+
+def test_report_attributes_orphan_stages_to_dash():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    tracer.span("stage.expansion").close()
+    tracer.close()
+    report = aggregate_trace(sink.records)
+    assert ("-", "expansion") in report.per_engine
+    assert report.engine_rows()[0][0] == "-"
+
+
+def test_format_trace_report_renders_tables():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    with tracer.span("engine", engine="tabu"):
+        tracer.span("stage.expansion").close()
+        tracer.event("resilience.retry")
+    tracer.close()
+    text = format_trace_report(aggregate_trace(sink.records), source="x.jsonl")
+    assert "trace (x.jsonl)" in text
+    assert "per-stage wall time" in text
+    assert "expansion" in text
+    assert "resilience.retry" in text
+
+
+def test_record_keys_documented():
+    assert set(_record()) == set(RECORD_KEYS)
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+def _cli_explore(extra, capsys):
+    argv = [
+        "explore", "--fig1", "--cycles", "2", "--neighbors", "4", "--seed", "1",
+    ] + extra
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+def test_cli_trace_and_report(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    code, output = _cli_explore(
+        ["--trace", str(trace_path), "--metrics"], capsys
+    )
+    assert code == 0
+    assert "timing: wall" in output
+    records = read_trace(trace_path)  # schema-valid by construction
+    assert records
+    assert main(["trace-report", str(trace_path)]) == 0
+    report_output = capsys.readouterr().out
+    assert "per-stage wall time" in report_output
+    for stage in ("expansion", "path_schedule", "merge"):
+        assert stage in report_output
+
+
+def test_cli_json_with_metrics(tmp_path, capsys):
+    code, output = _cli_explore(["--metrics", "--json"], capsys)
+    assert code == 0
+    document = json.loads(output)
+    result = document["results"][0]
+    assert result["wall_seconds"] > 0
+    assert set(result["stage_seconds"]) >= {
+        "expansion", "path_schedule", "merge",
+    }
+    assert result["stages"] is not None  # hit/miss block still present
+
+
+def test_cli_json_without_metrics_is_unstamped(capsys):
+    code, output = _cli_explore(["--json"], capsys)
+    assert code == 0
+    result = json.loads(output)["results"][0]
+    assert result["wall_seconds"] is None
+    assert result["stage_seconds"] is None
+
+
+def test_cli_trace_report_rejects_malformed_file(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type": "span"}\n')
+    assert main(["trace-report", str(bad)]) == 2
+    assert "error: invalid trace" in capsys.readouterr().err
+
+
+def test_cli_trace_report_missing_file(capsys):
+    assert main(["trace-report", "/nonexistent/trace.jsonl"]) == 2
+    assert "no such file" in capsys.readouterr().err
