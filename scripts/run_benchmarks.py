@@ -155,6 +155,35 @@ RESILIENCE_WORKLOAD = {
 #: while a genuinely heavy resilience layer (tens of percent) still fails.
 RESILIENCE_GATE_OVERHEAD = 12.0
 
+#: Service benchmark workload: the exploration service under a replayed load.
+#: One generated system is submitted as two near-duplicate tenants (same
+#: graph/architecture, different system names) whose jobs replay the same
+#: ~200-candidate search stream over a **real** localhost HTTP socket; the
+#: second tenant answers from the first's shared stage cache.  After the jobs,
+#: a burst of status requests measures the HTTP front-end's requests/sec.
+#: Both jobs are seeded pure Python, so the best cost and evaluation count are
+#: frozen determinism anchors, and the cross-request hit rate must clear
+#: ``min_hit_rate`` (the multi-tenant win the service exists for).
+SERVICE_WORKLOAD = {
+    "nodes": 20,
+    "alternative_paths": 4,
+    "system_seed": 7,
+    "engine": "tabu",
+    "seed": 3,
+    "cycles": 25,
+    "neighbors": 8,
+    "status_requests": 200,
+    "status_bursts": 3,
+    "min_hit_rate": 0.5,
+}
+
+#: The service requests/sec gate is very tolerant: sequential
+#: one-connection-per-request round-trips on a loopback interface swing by
+#: 2x with kernel socket churn alone, so the gate only catches collapses,
+#: not jitter.  The determinism anchors and the hit-rate floor do the
+#: precise gating.
+SERVICE_TOLERANCE = 1.5
+
 
 def _capture_metadata(timestamp: str | None) -> dict:
     """Provenance stamped on (re-)measured records: interpreter, host, when.
@@ -604,6 +633,94 @@ def _measure_resilience() -> dict:
     }
 
 
+def _measure_service() -> dict:
+    """Replay a candidate stream through the exploration service over HTTP.
+
+    Starts the asyncio job server in-process on an ephemeral port and drives
+    it exactly like an external client would: submit tenant A's job, poll it
+    to completion, fetch the result; repeat for tenant B — the same system
+    under a different name — which must answer partly from tenant A's shared
+    stage cache.  A burst of status requests then measures the HTTP
+    front-end's requests/sec.  Both jobs are seeded pure Python, so the best
+    cost and the evaluation count are frozen determinism anchors; the
+    cross-request hit rate must clear ``min_hit_rate``.
+    """
+    from repro.generator import generate_system
+    from repro.io import system_to_dict
+    from repro.service import ServiceClient, start_in_thread
+
+    spec = SERVICE_WORKLOAD
+    system = generate_system(
+        spec["nodes"], spec["alternative_paths"], seed=spec["system_seed"]
+    )
+
+    def _tenant_payload(name):
+        return system_to_dict(
+            system.process_graph, system.architecture, system.mapping, name
+        )
+
+    def _run_tenant(client, name):
+        request = {
+            "system": _tenant_payload(name),
+            "engine": spec["engine"],
+            "seed": spec["seed"],
+            "cycles": spec["cycles"],
+            "neighbors": spec["neighbors"],
+        }
+        started = time.perf_counter()
+        submitted = client.submit(request)
+        status = client.wait(submitted["job"], timeout=600, interval=0.02)
+        document = client.result(submitted["job"])
+        return time.perf_counter() - started, status, document
+
+    with start_in_thread(job_workers=2) as running:
+        client = ServiceClient(running.url, timeout=120.0)
+        a_seconds, status_a, document_a = _run_tenant(client, "tenant-a")
+        b_seconds, status_b, document_b = _run_tenant(client, "tenant-b")
+        burst_times = []
+        for _ in range(spec["status_bursts"]):  # best-of: socket churn is noisy
+            started = time.perf_counter()
+            for _ in range(spec["status_requests"]):
+                client.status(status_a["job"])
+            burst_times.append(time.perf_counter() - started)
+        status_seconds = min(burst_times)
+        cache = client.cache_stats()
+
+    best_a = document_a["results"][0]["best"]["cost"]
+    best_b = document_b["results"][0]["best"]["cost"]
+    if best_a != best_b:  # the system name must never steer the search
+        raise SystemExit(
+            "refusing to freeze a service baseline whose near-duplicate "
+            f"tenants disagree on the best cost: {best_a!r} vs {best_b!r}"
+        )
+    shared = status_b["shared_cache"]
+    queries = shared["stage_hits"] + shared["stage_misses"]
+    hit_rate = shared["stage_hits"] / queries if queries else 0.0
+    if shared["entries_at_start"] == 0 or hit_rate < spec["min_hit_rate"]:
+        raise SystemExit(
+            "refusing to freeze a service baseline without cross-request "
+            f"reuse: tenant B started with {shared['entries_at_start']} "
+            f"shared entries and hit {hit_rate:.0%} (< "
+            f"{spec['min_hit_rate']:.0%}); retune SERVICE_WORKLOAD"
+        )
+    return {
+        **spec,
+        "evaluations": document_a["results"][0]["evaluations"],
+        "best_cost": best_a,
+        "cold_job_seconds": round(a_seconds, 4),
+        "warm_job_seconds": round(b_seconds, 4),
+        "cross_request_hit_rate": round(hit_rate, 4),
+        "entries_at_start": shared["entries_at_start"],
+        "stage_hits": shared["stage_hits"],
+        "stage_misses": shared["stage_misses"],
+        "lru_evictions": cache["totals"]["lru_evictions"],
+        "status_requests_per_second": round(
+            spec["status_requests"] / status_seconds, 1
+        ),
+        "tolerance": SERVICE_TOLERANCE,
+    }
+
+
 def _summary_rows(payload: dict) -> list:
     """``(record, headline, seconds, captured)`` per committed benchmark record.
 
@@ -656,6 +773,15 @@ def _summary_rows(payload: dict) -> list:
             f"armed runtime {resilience['overhead_percent']:+g}% fault-free",
             resilience["armed_seconds"],
             _capture_text(resilience.get("captured") or fallback),
+        ])
+    service = payload.get("service")
+    if service:  # baselines may predate the service record
+        rows.append([
+            "service",
+            f"2 tenants over HTTP, warm hit rate "
+            f"{service['cross_request_hit_rate']:.0%}",
+            service["warm_job_seconds"],
+            _capture_text(service.get("captured") or fallback),
         ])
     return rows
 
@@ -752,6 +878,14 @@ def run(output: Path, presets, repeats: int, timestamp: str | None = None) -> di
         f"({resilience['overhead_percent']:+g}%, "
         f"{resilience['checkpoint_saves']} checkpoint saves)"
     )
+    service = _measure_service()  # refuses to freeze without cross-tenant reuse
+    print(
+        f"service : 2 tenants x {service['evaluations']} evaluations over "
+        f"HTTP, cold {service['cold_job_seconds']:.4f}s vs warm "
+        f"{service['warm_job_seconds']:.4f}s (hit rate "
+        f"{service['cross_request_hit_rate']:.0%}, "
+        f"{service['status_requests_per_second']:g} status req/s)"
+    )
     payload = {
         "description": (
             "ScheduleMerger.merge wall-time on the LARGE_SCALE_PRESETS random "
@@ -772,7 +906,12 @@ def run(output: Path, presets, repeats: int, timestamp: str | None = None) -> di
             "stream through the armed resilient runtime (retry policy + "
             "periodic checkpoint writes) versus the bare staged loop and "
             "freezes the relative overhead (< 5% at capture, bit-identical "
-            "evaluations). Regenerate with scripts/run_benchmarks.py "
+            "evaluations). 'service' replays the same system as two "
+            "near-duplicate tenants through the exploration service over a "
+            "real localhost HTTP socket and freezes the best cost plus the "
+            "cross-request stage-cache hit rate floor (the second tenant "
+            "must answer partly from the first's shared cache). Regenerate "
+            "with scripts/run_benchmarks.py "
             "(--record NAME remeasures one record into the committed "
             "baseline); check with --check."
         ),
@@ -786,6 +925,7 @@ def run(output: Path, presets, repeats: int, timestamp: str | None = None) -> di
         "comm_mapping": comm_mapping,
         "incremental": incremental,
         "resilience": resilience,
+        "service": service,
     }
     output.write_text(json.dumps(payload, indent=1) + "\n")
     print(f"wrote {output}")
@@ -839,7 +979,10 @@ def check(
     failure = _check_incremental(baseline)
     if failure:
         return failure
-    return _check_resilience(baseline)
+    failure = _check_resilience(baseline)
+    if failure:
+        return failure
+    return _check_service(baseline, scale)
 
 
 def _check_genetic(baseline: dict, scale: float) -> str | None:
@@ -1001,6 +1144,58 @@ def _check_resilience(baseline: dict) -> str | None:
     return None
 
 
+def _check_service(baseline: dict, scale: float) -> str | None:
+    """Gate the service benchmark: determinism, then reuse, then throughput.
+
+    The frozen best cost and evaluation count must reproduce bit-exactly
+    (the served jobs are the same seeded pure-Python search as the one-shot
+    CLI — drift here means the service layer changed results), the second
+    tenant's cross-request hit rate must clear the committed floor, and the
+    HTTP front-end's status requests/sec must stay within tolerance of the
+    committed throughput, host-calibrated like the timing gates.
+    """
+    committed = baseline.get("service")
+    if not committed:  # baseline predates the service benchmark
+        return None
+    measured = _measure_service()
+    for key in ("best_cost", "evaluations"):
+        if measured[key] != committed[key]:
+            print(f"service : {key} diverged from baseline -> REGRESSION")
+            return (
+                "served exploration is no longer deterministic per seed: "
+                f"{key} measured {measured[key]!r} vs committed "
+                f"{committed[key]!r}"
+            )
+    floor = committed.get("min_hit_rate", SERVICE_WORKLOAD["min_hit_rate"])
+    if measured["cross_request_hit_rate"] < floor:
+        print("service : cross-request reuse below floor -> REGRESSION")
+        return (
+            "cross-request stage-cache reuse regressed: hit rate "
+            f"{measured['cross_request_hit_rate']:.0%} < the committed floor "
+            f"{floor:.0%} (baseline {committed['cross_request_hit_rate']:.0%})"
+        )
+    tolerance = committed.get("tolerance", SERVICE_TOLERANCE)
+    limit = committed["status_requests_per_second"] / ((1.0 + tolerance) * scale)
+    verdict = (
+        "ok" if measured["status_requests_per_second"] >= limit else "REGRESSION"
+    )
+    print(
+        f"service : best cost reproduced, hit rate "
+        f"{measured['cross_request_hit_rate']:.0%}; "
+        f"{measured['status_requests_per_second']:g} status req/s vs baseline "
+        f"{committed['status_requests_per_second']:g} (floor {limit:.1f} at "
+        f"-{tolerance:.0%}) -> {verdict}"
+    )
+    if measured["status_requests_per_second"] < limit:
+        return (
+            "service request throughput regressed: "
+            f"{measured['status_requests_per_second']:g} req/s < "
+            f"{committed['status_requests_per_second']:g} / "
+            f"{1.0 + tolerance:.2f} / host scale {scale:.2f}"
+        )
+    return None
+
+
 #: Records ``--record`` can re-measure individually into an existing baseline.
 RECORD_MEASURERS = {
     "exploration": lambda: _measure_exploration(),
@@ -1008,6 +1203,7 @@ RECORD_MEASURERS = {
     "comm_mapping": lambda: _measure_comm_mapping(),
     "incremental": lambda: _measure_incremental(),
     "resilience": lambda: _measure_resilience(),
+    "service": lambda: _measure_service(),
 }
 
 

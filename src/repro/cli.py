@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction.
 
-Six subcommands cover the main uses of the library without writing Python:
+Eight subcommands cover the main uses of the library without writing Python:
 
 ``repro-cpg info <system.json>``
     Parse a system description, validate it and print its characteristics
@@ -37,6 +37,17 @@ Six subcommands cover the main uses of the library without writing Python:
     Aggregate a trace written by ``explore --trace`` into per-stage and
     per-engine wall-time tables plus an event tally.
 
+``repro-cpg serve``
+    Run the exploration service: a long-running async HTTP/JSON job server
+    whose tenants share LRU-bounded stage caches across requests (see
+    :mod:`repro.service` and ``docs/service.md``).
+
+``repro-cpg submit``
+    Client for a running service: submit an exploration job (the same
+    problem flags as ``explore``), wait for it and print the result —
+    ``--json`` output is byte-identical to the one-shot
+    ``explore --json`` for the same request.
+
 The console script ``repro-cpg`` is installed with the package; the module can
 also be run with ``python -m repro.cli``.  See ``docs/cli.md`` for the full
 flag reference.
@@ -46,9 +57,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 from collections import Counter
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from .analysis import (
@@ -62,18 +73,14 @@ from .data import load_fig1_example
 from .architecture.architecture import ArchitectureError
 from .architecture.mapping import MappingError
 from .exploration import (
-    ArchitectureBounds,
     CheckpointError,
-    ExplorationConfig,
-    ExplorationProblem,
     EvaluationPool,
     Explorer,
     FaultInjector,
-    OBJECTIVE_NAMES,
     RetryPolicy,
     WorkerInitializationError,
 )
-from .generator import RandomSystemGenerator, generate_system, paper_experiment_configs
+from .generator import RandomSystemGenerator, paper_experiment_configs
 from .graph import PathEnumerator
 from .graph.cpg import GraphStructureError
 from .io import SerializationError, load_system
@@ -87,6 +94,18 @@ from .observability import (
     read_trace,
 )
 from .scheduling import ScheduleMerger
+from .service import (
+    ServiceClient,
+    ServiceError,
+    config_from_request,
+    engines_for,
+    explore_document,
+    problem_and_origin,
+    schedule_document,
+    serve_forever,
+    sweep_document,
+)
+from .service.jobs import DEFAULT_CACHE_MAX_BYTES, DEFAULT_CACHE_MAX_ENTRIES
 from .simulation import validate_merge_result
 
 
@@ -301,6 +320,133 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace", help="path to a JSONL trace written by 'explore --trace'"
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the exploration service (async HTTP/JSON job server with "
+        "shared LRU stage caches; see docs/service.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listening port (default 8765; 0 picks an ephemeral port, "
+        "printed on startup)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=2,
+        help="concurrent exploration jobs (default 2)",
+    )
+    serve.add_argument(
+        "--cache-max-entries", type=int, default=DEFAULT_CACHE_MAX_ENTRIES,
+        help="per-scope stage-cache entry budget "
+        f"(default {DEFAULT_CACHE_MAX_ENTRIES})",
+    )
+    serve.add_argument(
+        "--cache-max-bytes", type=int, default=DEFAULT_CACHE_MAX_BYTES,
+        help="per-scope stage-cache byte budget "
+        f"(default {DEFAULT_CACHE_MAX_BYTES}, ~64 MiB of estimated entry "
+        "sizes)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit an exploration job to a running service and print the "
+        "result (--json is byte-identical to one-shot 'explore --json')",
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="service base URL (default http://127.0.0.1:8765)",
+    )
+    submit.add_argument(
+        "system",
+        nargs="?",
+        default=None,
+        help="optional JSON system description to embed in the request; "
+        "omitted: a seeded random system",
+    )
+    submit.add_argument("--nodes", type=int, default=40, help="random-system size")
+    submit.add_argument(
+        "--paths", type=int, default=8, help="random-system alternative paths"
+    )
+    submit.add_argument("--seed", type=int, default=0, help="search + system seed")
+    submit.add_argument(
+        "--fig1", action="store_true",
+        help="explore the paper's Fig. 1 example instead of a random system",
+    )
+    submit.add_argument(
+        "--fig1-buses", type=int, default=1,
+        help="with --fig1: number of shared buses of the platform",
+    )
+    submit.add_argument(
+        "--engine",
+        choices=["tabu", "anneal", "genetic", "both", "all"],
+        default="tabu",
+        help="search engine (aliases as in 'explore')",
+    )
+    submit.add_argument(
+        "--cycles", type=int, default=40,
+        help="cycle budget (generations for the genetic engine)",
+    )
+    submit.add_argument(
+        "--neighbors", type=int, default=8, help="neighbours scored per cycle"
+    )
+    submit.add_argument(
+        "--population", type=int, default=16,
+        help="genetic-engine population size",
+    )
+    submit.add_argument(
+        "--stall", type=int, default=0,
+        help="stop after N cycles without improvement (0: disabled)",
+    )
+    submit.add_argument(
+        "--pareto", action="store_true",
+        help="track and report the non-dominated front",
+    )
+    submit.add_argument(
+        "--size-architecture", action="store_true",
+        help="enable architecture sizing within the declared bounds",
+    )
+    submit.add_argument(
+        "--map-communications", action="store_true",
+        help="explore communication-to-bus mapping",
+    )
+    submit.add_argument(
+        "--bus-policy",
+        choices=["least_index", "least_loaded"],
+        default="least_index",
+        help="derivation policy for messages without an explicit bus pin",
+    )
+    submit.add_argument(
+        "--min-processors", type=int, default=1,
+        help="sizing: lower bound on programmable processors",
+    )
+    submit.add_argument(
+        "--max-processors", type=int, default=None,
+        help="sizing: upper bound on programmable processors",
+    )
+    submit.add_argument(
+        "--min-buses", type=int, default=1,
+        help="sizing: lower bound on buses",
+    )
+    submit.add_argument(
+        "--max-buses", type=int, default=None,
+        help="sizing: upper bound on buses",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the queued job id and return without polling",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for the job (default 600)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print the full result document (byte-identical to the "
+        "one-shot 'explore --json' for the same request)",
+    )
+
     return parser
 
 
@@ -338,25 +484,11 @@ def _command_schedule(
             expanded.graph, expanded.mapping, result, system.architecture
         )
     if as_json:
-        document = {
-            "system": system.name,
-            "alternative_paths": len(result.paths),
-            "path_delays": {
-                str(label): schedule.delay
-                for label, schedule in sorted(
-                    result.path_schedules.items(), key=lambda kv: str(kv[0])
-                )
-            },
-            "delta_m": result.delta_m,
-            "delta_max": result.delta_max,
-            "delay_increase_percent": result.delay_increase_percent,
-        }
-        if report is not None:
-            document["validation"] = {
-                "paths_checked": report.paths_checked,
-                "worst_case_delay": report.worst_case_delay,
-            }
-        print(json.dumps(document, indent=2, sort_keys=True))
+        print(json.dumps(
+            schedule_document(system.name, result, report),
+            indent=2,
+            sort_keys=True,
+        ))
         return 0
     print(f"alternative paths : {len(result.paths)}")
     for label, schedule in sorted(
@@ -414,13 +546,7 @@ def _command_sweep(
         }
     if as_json:
         print(json.dumps(
-            {
-                "metric": "average increase of delta_max over delta_M (%)",
-                "graphs_per_setting": graphs,
-                "series": series,
-            },
-            indent=2,
-            sort_keys=True,
+            sweep_document(series, graphs), indent=2, sort_keys=True
         ))
         return 0
     print(format_series(
@@ -429,129 +555,44 @@ def _command_sweep(
     return 0
 
 
-def _finite(value: float):
-    """Non-finite costs (infeasible candidates) become null in JSON output.
+def _request_from_arguments(arguments, system=None) -> dict:
+    """The normalised explore-request document of one argparse namespace.
 
-    ``json.dumps`` would otherwise emit the spec-invalid token ``Infinity``,
-    which strict RFC 8259 parsers (jq, JavaScript) reject.
+    The same shape :func:`repro.io.validate_explore_request` produces for
+    service submissions, so ``explore``, ``submit`` and ``POST /jobs`` all
+    build their runs from identical ingredients.  ``system`` carries the
+    already-loaded description for the file-path case (the service embeds
+    the payload instead).
     """
-    return value if math.isfinite(value) else None
-
-
-def _front_dict(front) -> dict:
-    """Serialise a ParetoFront: sorted, deterministic per seed."""
-    points = []
-    for point in front:
-        entry = {
-            "fingerprint": point.candidate.fingerprint,
-            "objectives": dict(zip(OBJECTIVE_NAMES, point.objectives)),
-            "priority_function": point.candidate.priority_function,
+    sizing = None
+    if arguments.size_architecture:
+        sizing = {
+            "min_processors": arguments.min_processors,
+            "max_processors": arguments.max_processors,
+            "min_buses": arguments.min_buses,
+            "max_buses": arguments.max_buses,
         }
-        if point.candidate.platform:
-            entry["platform"] = {
-                "processors": list(point.candidate.platform_processors),
-                "buses": list(point.candidate.platform_buses),
-            }
-        if point.candidate.communication_assignment:
-            entry["communication_assignment"] = dict(
-                point.candidate.communication_assignment
-            )
-        points.append(entry)
-    return {"size": len(points), "points": points}
-
-
-def _explore_result_dict(result, include_front: bool = False, problem=None) -> dict:
-    document = {
-        "engine": result.engine,
-        "initial": {
-            "feasible": result.initial.feasible,
-            "delta_max": result.initial.delta_max,
-            "delta_m": result.initial.delta_m,
-            "cost": _finite(result.initial.cost),
-        },
-        "best": {
-            "fingerprint": result.best_candidate.fingerprint,
-            "feasible": result.best.feasible,
-            "delta_max": result.best.delta_max,
-            "delta_m": result.best.delta_m,
-            "cost": _finite(result.best.cost),
-            "mean_path_delay": result.best.mean_path_delay,
-            "load_imbalance": result.best.load_imbalance,
-            "architecture_cost": result.best.architecture_cost,
-            "bus_imbalance": result.best.bus_imbalance,
-            "priority_function": result.best_candidate.priority_function,
-            "assignment": dict(result.best_candidate.assignment),
-        },
-        "improvement_percent": result.improvement_percent,
-        "cycles": result.cycles,
-        "evaluations": result.evaluations,
-        "stop_reason": result.stop_reason,
-        "cache": {
-            "hits": result.cache.hits,
-            "misses": result.cache.misses,
-            "hit_rate": result.cache.hit_rate,
-        },
-        "stages": (
-            {
-                "expansion_hits": result.stages.expansion_hits,
-                "expansion_misses": result.stages.expansion_misses,
-                "expansion_hit_rate": result.stages.expansion_hit_rate,
-                "schedule_hits": result.stages.schedule_hits,
-                "schedule_misses": result.stages.schedule_misses,
-                "schedule_hit_rate": result.stages.schedule_hit_rate,
-            }
-            if result.stages is not None
-            else None
-        ),
-        "resilience": (
-            {
-                "retries": result.resilience.retries,
-                "timeouts": result.resilience.timeouts,
-                "worker_restarts": result.resilience.worker_restarts,
-                "quarantined": result.resilience.quarantined,
-                "injected": result.resilience.injected,
-                "integrity_evictions": result.resilience.integrity_evictions,
-                "degraded": result.resilience.degraded,
-            }
-            if result.resilience is not None
-            else None
-        ),
-        "resumed_from": result.resumed_from,
-        # Timing (both None unless --metrics is on: identical invocations
-        # must keep producing byte-identical JSON).
-        "stage_seconds": result.stage_seconds,
-        "wall_seconds": result.wall_seconds,
-        "trajectory": [
-            {
-                "cycle": point.cycle,
-                "move": point.move,
-                "cost": _finite(point.cost),
-                "best_cost": _finite(point.best_cost),
-                "accepted": point.accepted,
-            }
-            for point in result.trajectory
-        ],
+    request = {
+        "fig1": arguments.fig1,
+        "fig1_buses": arguments.fig1_buses,
+        "seed": arguments.seed,
+        "engine": arguments.engine,
+        "cycles": arguments.cycles,
+        "neighbors": arguments.neighbors,
+        "population": arguments.population,
+        "stall": arguments.stall,
+        "pareto": arguments.pareto,
+        "map_communications": arguments.map_communications,
+        "bus_policy": arguments.bus_policy,
+        "sizing": sizing,
     }
-    if problem is not None and problem.map_communications:
-        best = document["best"]
-        best["communication_pins"] = dict(
-            result.best_candidate.communication_assignment
-        )
-        if result.best.feasible:
-            # The realised mapping: the bus every message actually rides
-            # (explicit pins plus policy-derived picks).
-            best["communication_mapping"] = problem.communications_for(
-                result.best_candidate
-            )
-    if include_front and result.front is not None:
-        document["front"] = _front_dict(result.front)
-    return document
-
-
-_ENGINE_CHOICES = {
-    "both": ["tabu", "anneal"],
-    "all": ["tabu", "anneal", "genetic"],
-}
+    # Exactly one problem source goes on the wire (the request schema
+    # rejects ambiguity); the random spec is the fallback source.
+    if system is not None:
+        request["system"] = system
+    elif not arguments.fig1:
+        request["random"] = {"nodes": arguments.nodes, "paths": arguments.paths}
+    return request
 
 
 def _command_explore(arguments) -> int:
@@ -562,62 +603,19 @@ def _command_explore(arguments) -> int:
             file=sys.stderr,
         )
         return 2
-    bounds = None
-    if arguments.size_architecture:
-        bounds = ArchitectureBounds(
-            max_processors=arguments.max_processors,
-            min_processors=arguments.min_processors,
-            max_buses=arguments.max_buses,
-            min_buses=arguments.min_buses,
-        )
-    if arguments.fig1:
-        example = load_fig1_example(num_buses=arguments.fig1_buses)
-        problem = ExplorationProblem(
-            example.process_graph,
-            example.mapping,
-            example.architecture,
-            name="fig1",
-            bounds=bounds,
-            map_communications=arguments.map_communications,
-            bus_policy=arguments.bus_policy,
-        )
-        origin = "the paper's Fig. 1 example"
-        if arguments.fig1_buses != 1:
-            origin += f" ({arguments.fig1_buses} buses)"
-    elif arguments.system is not None:
-        system = load_system(arguments.system)
-        system.graph.validate()
-        problem = ExplorationProblem.from_system(
-            system,
-            bounds=bounds,
-            map_communications=arguments.map_communications,
-            bus_policy=arguments.bus_policy,
-        )
-        origin = arguments.system
-    else:
-        generated = generate_system(
-            arguments.nodes, arguments.paths, seed=arguments.seed
-        )
-        problem = ExplorationProblem.from_system(
-            generated,
-            bounds=bounds,
-            map_communications=arguments.map_communications,
-            bus_policy=arguments.bus_policy,
-        )
-        origin = (
-            f"random system ({arguments.nodes} nodes, {arguments.paths} paths, "
-            f"seed {arguments.seed})"
-        )
-    config = ExplorationConfig(
-        seed=arguments.seed,
-        max_cycles=arguments.cycles,
-        neighbors_per_cycle=arguments.neighbors,
-        stall_cycles=arguments.stall,
-        population_size=arguments.population,
-        track_front=arguments.pareto,
+    system = (
+        load_system(arguments.system) if arguments.system is not None else None
+    )
+    request = _request_from_arguments(arguments, system=system)
+    problem, origin = problem_and_origin(
+        request,
+        origin=arguments.system if arguments.system is not None else None,
+    )
+    config = replace(
+        config_from_request(request),
         checkpoint_every=arguments.checkpoint_every,
     )
-    engines = _ENGINE_CHOICES.get(arguments.engine, [arguments.engine])
+    engines = engines_for(arguments.engine)
     if arguments.checkpoint is not None and len(engines) > 1:
         print(
             "error: --checkpoint records the state of one engine; "
@@ -695,21 +693,14 @@ def _command_explore(arguments) -> int:
             tracer.close()
 
     if arguments.json:
-        best = min(results, key=lambda r: (r.best.cost, r.engine))
         print(json.dumps(
-            {
-                "problem": origin,
-                "seed": arguments.seed,
-                "results": [
-                    _explore_result_dict(
-                        result,
-                        include_front=arguments.pareto,
-                        problem=problem,
-                    )
-                    for result in results
-                ],
-                "best_engine": best.engine,
-            },
+            explore_document(
+                origin,
+                arguments.seed,
+                results,
+                include_front=arguments.pareto,
+                problem=problem,
+            ),
             indent=2,
             sort_keys=True,
         ))
@@ -807,6 +798,66 @@ def _command_trace_report(path: str) -> int:
     return 0
 
 
+def _command_serve(arguments) -> int:
+    """Run the exploration service until interrupted (the ``serve`` command)."""
+    return serve_forever(
+        host=arguments.host,
+        port=arguments.port,
+        job_workers=arguments.job_workers,
+        cache_max_entries=arguments.cache_max_entries,
+        cache_max_bytes=arguments.cache_max_bytes,
+    )
+
+
+def _command_submit(arguments) -> int:
+    """Submit one job to a running service (the ``submit`` command)."""
+    if arguments.fig1 and arguments.system is not None:
+        print(
+            "error: --fig1 and a system description file are mutually "
+            "exclusive; pass one problem source",
+            file=sys.stderr,
+        )
+        return 2
+    system_payload = None
+    if arguments.system is not None:
+        with open(arguments.system) as handle:
+            system_payload = json.load(handle)
+    request = _request_from_arguments(arguments, system=system_payload)
+    client = ServiceClient(arguments.url, timeout=arguments.timeout)
+    try:
+        submitted = client.submit(request)
+        job_id = submitted["job"]
+        if arguments.no_wait:
+            print(f"submitted {job_id} ({submitted['state']}) to {arguments.url}")
+            print(f"poll with: GET {arguments.url}/jobs/{job_id}")
+            return 0
+        status = client.wait(job_id, timeout=arguments.timeout)
+        document = client.result(job_id)
+    except (ConnectionError, OSError) as error:
+        print(
+            f"error: cannot reach service at {arguments.url}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    shared = status.get("shared_cache", {})
+    print(f"job {job_id} done: {document['problem']}")
+    for result in document["results"]:
+        print(f"{result['engine']:>7}: delta_max "
+              f"{result['best']['delta_max']:g} "
+              f"(cost {result['best']['cost']}, "
+              f"stop: {result['stop_reason']})")
+    print(f"best engine: {document['best_engine']}")
+    print(f"shared stage cache [{status.get('cache_scope', '?')}]: "
+          f"{shared.get('stage_hits', 0)} hits, "
+          f"{shared.get('stage_misses', 0)} misses, "
+          f"{shared.get('entries_at_start', 0)} entries pre-warmed by "
+          f"earlier tenants, {shared.get('lru_evictions', 0)} evictions")
+    return 0
+
+
 def _dispatch(arguments) -> int:
     if arguments.command == "info":
         return _command_info(arguments.system)
@@ -824,6 +875,10 @@ def _dispatch(arguments) -> int:
         return _command_explore(arguments)
     if arguments.command == "trace-report":
         return _command_trace_report(arguments.trace)
+    if arguments.command == "serve":
+        return _command_serve(arguments)
+    if arguments.command == "submit":
+        return _command_submit(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")
 
 
@@ -855,6 +910,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: invalid trace: {error}", file=sys.stderr)
         return 2
     except WorkerInitializationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ServiceError as error:
+        print(f"error: service request failed: {error}", file=sys.stderr)
+        return 2
+    except TimeoutError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

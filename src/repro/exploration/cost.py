@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, Optional, Tuple
 
 from ..architecture.architecture import Architecture, ArchitectureError
@@ -57,6 +59,45 @@ from .candidate import Candidate
 from .problem import ExplorationProblem
 
 _INFEASIBLE_COST = float("inf")
+
+#: Deterministic per-entry size estimates for the bounded-LRU budget.
+#: ``sys.getsizeof`` and wall clocks are banned here — eviction decisions
+#: feed frozen benchmark anchors, so an entry's cost must be the same on
+#: every host and every run.  The estimates are structural proxies for the
+#: python-object footprint of the memoized value.
+_ENTRY_OVERHEAD_BYTES = 64
+_SCHEDULE_TASK_BYTES = 160
+_EXPANSION_NODE_BYTES = 96
+_PATH_BYTES = 32
+#: How many least-recently-used entries compete per eviction: the victim is
+#: the *cheapest to recompute* among this window, so one cold-but-expensive
+#: merge artefact survives a burst of cheap re-adjustment schedules.
+_EVICTION_WINDOW = 8
+
+
+def schedule_entry_cost(schedule: PathSchedule) -> int:
+    """Deterministic size estimate (bytes) of one memoized path schedule.
+
+    Proportional to the number of scheduled tasks and condition broadcasts —
+    the objects a :class:`~repro.scheduling.schedule.PathSchedule` actually
+    holds — so the estimate doubles when the schedule does.
+    """
+    return _ENTRY_OVERHEAD_BYTES + _SCHEDULE_TASK_BYTES * (
+        len(schedule.tasks) + len(schedule.broadcasts)
+    )
+
+
+def expansion_entry_cost(expanded, paths) -> int:
+    """Deterministic size estimate (bytes) of one memoized expansion stage.
+
+    Counts the expanded graph's processes (communication processes included)
+    plus the enumerated alternative paths stored alongside it.
+    """
+    return (
+        _ENTRY_OVERHEAD_BYTES
+        + _EXPANSION_NODE_BYTES * len(expanded.graph)
+        + _PATH_BYTES * len(paths)
+    )
 
 
 @contextmanager
@@ -104,6 +145,17 @@ class StageStats:
     #: Entries evicted by :meth:`StageCache.check_integrity` because their
     #: memoized value no longer matched its sub-fingerprint key.
     integrity_evictions: int = 0
+    #: Entries evicted by the bounded-LRU budget (cheapest-to-recompute
+    #: first within the recency window; see the :class:`StageCache`
+    #: docstring).  Zero on unbounded caches.
+    lru_evictions: int = 0
+    #: Estimated bytes currently held by the LRU-managed memos (expansion +
+    #: per-path schedule entries), per the deterministic
+    #: :func:`schedule_entry_cost` / :func:`expansion_entry_cost` estimates.
+    occupancy_bytes: int = 0
+    #: The configured budgets; 0 means unbounded on that axis.
+    max_entries: int = 0
+    max_bytes: int = 0
 
     @property
     def expansion_hit_rate(self) -> float:
@@ -146,10 +198,28 @@ class StageCache:
     that could alias two fingerprints to one id — takes a lock.  The
     counters may undercount under contention.
 
-    Like the whole-candidate cache, stage memos grow for the lifetime of the
-    cache (per-path schedules are the bulky part — one ``PathSchedule`` per
-    distinct sub-fingerprint + lock set); call :meth:`clear` between
-    independent long searches if memory matters more than cross-search hits.
+    By default stage memos grow for the lifetime of the cache (per-path
+    schedules are the bulky part — one ``PathSchedule`` per distinct
+    sub-fingerprint + lock set); call :meth:`clear` between independent long
+    searches if memory matters more than cross-search hits.
+
+    **Bounded mode** (``max_entries`` and/or ``max_bytes``) caps the
+    LRU-managed memos — expansions and per-path schedules — for long-running
+    deployments such as ``repro-cpg serve``, where one shared cache answers
+    an unbounded request stream.  Entry sizes are the deterministic
+    structural estimates of :func:`schedule_entry_cost` /
+    :func:`expansion_entry_cost` (never ``sys.getsizeof`` or wall clocks, so
+    eviction decisions replay identically on every host).  When a budget is
+    exceeded, the victim is the **cheapest-to-recompute** entry among the
+    ``_EVICTION_WINDOW`` least-recently-used ones (ties fall to the least
+    recent), so recency decides *who competes* and stage cost decides *who
+    goes* — an old-but-expensive artefact outlives a burst of cheap ones.
+    An entry larger than ``max_bytes`` on its own is computed but never
+    memoized, so occupancy never exceeds the byte budget.  Eviction is
+    self-healing by construction: stages are pure, so a re-query after
+    eviction recomputes a bit-identical value (the same property
+    :meth:`check_integrity` relies on).  The unbounded default skips all
+    LRU bookkeeping — the hot paths are unchanged.
     """
 
     __slots__ = (
@@ -160,6 +230,11 @@ class StageCache:
         "_next_key_id",
         "_intern_lock",
         "_contexts",
+        "_bounded",
+        "_max_entries",
+        "_max_bytes",
+        "_lru",
+        "_occupancy_bytes",
         "expansion_hits",
         "expansion_misses",
         "structure_hits",
@@ -167,9 +242,14 @@ class StageCache:
         "schedule_hits",
         "schedule_misses",
         "integrity_evictions",
+        "lru_evictions",
     )
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self._expansions: Dict[
             Tuple, Tuple[ExpandedGraph, Tuple[AlternativePath, ...]]
         ] = {}
@@ -191,6 +271,17 @@ class StageCache:
         # Per-path dependency structures (PathListScheduler contexts), keyed
         # by interned path key and re-adopted across scheduler instances.
         self._contexts: Dict[int, object] = {}
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self._max_entries = max_entries or 0
+        self._max_bytes = max_bytes or 0
+        self._bounded = bool(self._max_entries or self._max_bytes)
+        # Recency order of the LRU-managed entries: (kind, key) -> byte cost,
+        # least recently used first.  Mutated only under _intern_lock.
+        self._lru: "OrderedDict[Tuple[str, Tuple], int]" = OrderedDict()
+        self._occupancy_bytes = 0
         self.expansion_hits = 0
         self.expansion_misses = 0
         self.structure_hits = 0
@@ -198,6 +289,7 @@ class StageCache:
         self.schedule_hits = 0
         self.schedule_misses = 0
         self.integrity_evictions = 0
+        self.lru_evictions = 0
 
     @property
     def stats(self) -> StageStats:
@@ -213,7 +305,66 @@ class StageCache:
             structure_misses=self.structure_misses,
             structures=len(self._structures),
             integrity_evictions=self.integrity_evictions,
+            lru_evictions=self.lru_evictions,
+            occupancy_bytes=self._occupancy_bytes,
+            max_entries=self._max_entries,
+            max_bytes=self._max_bytes,
         )
+
+    # -- bounded-LRU bookkeeping (no-ops on unbounded caches) ----------------
+
+    @property
+    def occupancy_bytes(self) -> int:
+        """Estimated bytes held by the LRU-managed memos (0 when unbounded)."""
+        return self._occupancy_bytes
+
+    def _touch(self, kind: str, key: Tuple) -> None:
+        """Mark one LRU-managed entry as most recently used."""
+        with self._intern_lock:
+            if (kind, key) in self._lru:
+                self._lru.move_to_end((kind, key))
+
+    def _admit(self, kind: str, key: Tuple, value, cost: int) -> None:
+        """Store one LRU-managed entry and evict back under budget.
+
+        An entry whose cost alone exceeds ``max_bytes`` is not memoized at
+        all — the caller keeps the computed value, occupancy never exceeds
+        the budget.  Store + bookkeeping share the lock so eviction can
+        never orphan a stored value outside the recency order.
+        """
+        if self._max_bytes and cost > self._max_bytes:
+            return
+        store = self._expansions if kind == "expansion" else self._schedules
+        with self._intern_lock:
+            previous = self._lru.pop((kind, key), None)
+            if previous is not None:
+                self._occupancy_bytes -= previous
+            store[key] = value
+            self._lru[(kind, key)] = cost
+            self._occupancy_bytes += cost
+            self._evict_to_budget_locked()
+
+    def _evict_to_budget_locked(self) -> None:
+        """Evict until both budgets hold (caller owns ``_intern_lock``)."""
+        while self._lru and (
+            (self._max_entries and len(self._lru) > self._max_entries)
+            or (self._max_bytes and self._occupancy_bytes > self._max_bytes)
+        ):
+            window = list(islice(self._lru.items(), _EVICTION_WINDOW))
+            # min() is stable, so equal costs fall to the least recent.
+            (kind, key), _cost = min(window, key=lambda item: item[1])
+            self._forget_locked(kind, key)
+            self.lru_evictions += 1
+
+    def _forget_locked(self, kind: str, key: Tuple) -> None:
+        """Drop one LRU-managed entry (caller owns ``_intern_lock``)."""
+        cost = self._lru.pop((kind, key), None)
+        if cost is not None:
+            self._occupancy_bytes -= cost
+        if kind == "expansion":
+            self._expansions.pop(key, None)
+        else:
+            self._schedules.pop(key, None)
 
     # -- stage probes (used by merge_candidate) ------------------------------
 
@@ -238,6 +389,8 @@ class StageCache:
         cached = self._expansions.get(key)
         if cached is not None:
             self.expansion_hits += 1
+            if self._bounded:
+                self._touch("expansion", key)
             return cached
         self.expansion_misses += 1
         mapping = problem.mapping_for(candidate)
@@ -258,7 +411,13 @@ class StageCache:
             bus_assignment=pins or None,
             bus_policy=problem.bus_policy,
         )
-        self._expansions[key] = (expanded, paths)
+        if self._bounded:
+            self._admit(
+                "expansion", key, (expanded, paths),
+                expansion_entry_cost(expanded, paths),
+            )
+        else:
+            self._expansions[key] = (expanded, paths)
         return expanded, paths
 
     def intern_key(self, key: Tuple) -> int:
@@ -294,19 +453,26 @@ class StageCache:
             self._schedules.clear()
             self._key_ids.clear()
             self._contexts.clear()
+            self._lru.clear()
+            self._occupancy_bytes = 0
 
     def lookup_schedule(self, key: Tuple) -> Optional[PathSchedule]:
         """Probe the per-path schedule memo (counts the hit/miss)."""
         cached = self._schedules.get(key)
         if cached is not None:
             self.schedule_hits += 1
+            if self._bounded:
+                self._touch("schedule", key)
         else:
             self.schedule_misses += 1
         return cached
 
     def store_schedule(self, key: Tuple, schedule: PathSchedule) -> None:
         """Record a freshly computed per-path schedule."""
-        self._schedules[key] = schedule
+        if self._bounded:
+            self._admit("schedule", key, schedule, schedule_entry_cost(schedule))
+        else:
+            self._schedules[key] = schedule
 
     def check_integrity(self) -> int:
         """Verify memoized stages against their keys; evict mismatches.
@@ -344,14 +510,14 @@ class StageCache:
                         for message, bus_name in pins
                     )
                 if not consistent:
-                    del self._expansions[key]
+                    self._forget_locked("expansion", key)
                     evicted += 1
             labels = {key_id: key[0] for key, key_id in self._key_ids.items()}
             for key, schedule in list(self._schedules.items()):
                 key_id, _locks = key
                 label = labels.get(key_id)
                 if label is None or schedule.path.label != label:
-                    del self._schedules[key]
+                    self._forget_locked("schedule", key)
                     self._contexts.pop(key_id, None)
                     evicted += 1
             self.integrity_evictions += evicted

@@ -190,6 +190,7 @@ class ExplorationProblem:
         self._spare_buses: Tuple[str, ...] = ()
         self._architecture_cache: Dict[Tuple[Tuple[str, str], ...], Architecture] = {}
         self._content_key: Optional[str] = None
+        self._stage_scope_key: Optional[str] = None
         if bounds is not None:
             self._bounds = bounds.resolved_for(self._architecture)
             taken = {pe.name for pe in self._architecture.processing_elements}
@@ -553,6 +554,33 @@ class ExplorationProblem:
             document = json.dumps(self.to_payload(), sort_keys=True)
             self._content_key = hashlib.sha256(document.encode()).hexdigest()[:16]
         return self._content_key
+
+    @property
+    def stage_scope_key(self) -> str:
+        """Content hash of everything the stage sub-fingerprints assume fixed.
+
+        Two problems with equal keys may safely share one
+        :class:`~repro.exploration.cost.StageCache`: the stage keys
+        (:meth:`expansion_key`, :meth:`path_schedule_key`) cover the
+        candidate-dependent state — assignment, platform, pins, priorities —
+        but deliberately exclude the problem identity, so the *problem-level*
+        state they rely on (graph content, architecture, bus policy, sizing
+        bounds) must match between sharers.  The key hashes the payload with
+        the two stage-irrelevant fields stripped: the system ``name`` and the
+        per-process seed mapping (``mapped_to``) — near-duplicate tenants
+        differing only in label or starting point land in the same scope,
+        which is the multi-tenant cache win ``repro-cpg serve`` exploits.
+        """
+        if self._stage_scope_key is None:
+            payload = self.to_payload()
+            payload.pop("name", None)
+            for entry in payload.get("processes", ()):
+                entry.pop("mapped_to", None)
+            document = json.dumps(payload, sort_keys=True)
+            self._stage_scope_key = hashlib.sha256(
+                document.encode()
+            ).hexdigest()[:16]
+        return self._stage_scope_key
 
     def to_payload(self) -> Dict[str, Any]:
         """Serialise to the JSON system-description document (picklable)."""

@@ -9,6 +9,9 @@ from .serialization import (
     save_system,
     system_from_dict,
     system_to_dict,
+    validate_explore_request,
+    validate_schedule_request,
+    validate_sweep_request,
 )
 
 __all__ = [
@@ -20,4 +23,7 @@ __all__ = [
     "save_system",
     "system_from_dict",
     "system_to_dict",
+    "validate_explore_request",
+    "validate_schedule_request",
+    "validate_sweep_request",
 ]

@@ -313,3 +313,201 @@ def load_system(path: Union[str, Path]) -> SystemDescription:
     except json.JSONDecodeError as error:
         raise SerializationError(f"{path} is not valid JSON: {error}") from error
     return system_from_dict(document)
+
+
+# -- service request schemas -------------------------------------------------
+#
+# Request documents of the ``repro-cpg serve`` HTTP API.  Validation follows
+# the same contract as the system documents above: a malformed request raises
+# :class:`SerializationError` naming the offending entry, so the service can
+# answer 400 with an actionable message instead of a traceback.  Validators
+# return a *normalised* copy with every default filled in — the job runner
+# and the CLI client never re-derive defaults independently.
+
+EXPLORE_ENGINE_CHOICES = ("tabu", "anneal", "genetic", "both", "all")
+BUS_POLICY_CHOICES = ("least_index", "least_loaded")
+
+
+def _request_bool(entry: Dict[str, Any], key: str, default: bool, what: str) -> bool:
+    value = entry.get(key, default)
+    if not isinstance(value, bool):
+        raise SerializationError(
+            f"{what} field {key!r} must be a boolean, got {value!r}"
+        )
+    return value
+
+
+def _request_int(
+    entry: Dict[str, Any],
+    key: str,
+    default: Optional[int],
+    what: str,
+    minimum: Optional[int] = None,
+) -> Optional[int]:
+    value = entry.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SerializationError(
+            f"{what} field {key!r} must be an integer, got {value!r}"
+        )
+    if minimum is not None and value < minimum:
+        raise SerializationError(
+            f"{what} field {key!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _reject_unknown_keys(
+    entry: Dict[str, Any], allowed: tuple, what: str
+) -> None:
+    for key in entry:
+        if key not in allowed:
+            raise SerializationError(
+                f"{what} has unknown field {key!r} "
+                f"(allowed: {', '.join(sorted(allowed))})"
+            )
+
+
+def validate_explore_request(document: Any) -> Dict[str, Any]:
+    """Validate + normalise one exploration-job request document.
+
+    The document mirrors the ``repro-cpg explore`` flags: exactly one
+    problem source — ``"fig1": true`` (with optional ``"fig1_buses"``), an
+    inline ``"system"`` description (the schema at the top of this module),
+    or ``"random": {"nodes": N, "paths": P}`` — plus search settings
+    (``seed``, ``engine``, ``cycles``, ``neighbors``, ``population``,
+    ``stall``, ``pareto``, ``map_communications``, ``bus_policy`` and an
+    optional ``sizing`` bounds object).  Every default matches the CLI's, so
+    a served job and a one-shot run of the same request produce identical
+    result documents.
+    """
+    document = _entry_dict(document, "explore request")
+    what = "explore request"
+    allowed = (
+        "fig1", "fig1_buses", "system", "random", "seed", "engine", "cycles",
+        "neighbors", "population", "stall", "pareto", "map_communications",
+        "bus_policy", "sizing",
+    )
+    _reject_unknown_keys(document, allowed, what)
+    fig1 = _request_bool(document, "fig1", False, what)
+    system = document.get("system")
+    random_spec = document.get("random")
+    sources = sum(1 for chosen in (fig1, system is not None, random_spec is not None) if chosen)
+    if sources != 1:
+        raise SerializationError(
+            "explore request needs exactly one problem source: "
+            "'fig1': true, an inline 'system' description, or 'random'"
+        )
+    if system is not None:
+        # Build it once now so a malformed system names its offender at
+        # submission time, not inside the job.
+        system_from_dict(system)
+    random_normalised = None
+    if random_spec is not None:
+        random_spec = _entry_dict(random_spec, "explore request 'random'")
+        _reject_unknown_keys(random_spec, ("nodes", "paths"), "explore request 'random'")
+        random_normalised = {
+            "nodes": _request_int(
+                random_spec, "nodes", 40, "explore request 'random'", minimum=2
+            ),
+            "paths": _request_int(
+                random_spec, "paths", 8, "explore request 'random'", minimum=1
+            ),
+        }
+    engine = document.get("engine", "tabu")
+    if engine not in EXPLORE_ENGINE_CHOICES:
+        raise SerializationError(
+            f"explore request field 'engine' must be one of "
+            f"{', '.join(EXPLORE_ENGINE_CHOICES)}, got {engine!r}"
+        )
+    bus_policy = document.get("bus_policy", "least_index")
+    if bus_policy not in BUS_POLICY_CHOICES:
+        raise SerializationError(
+            f"explore request field 'bus_policy' must be one of "
+            f"{', '.join(BUS_POLICY_CHOICES)}, got {bus_policy!r}"
+        )
+    sizing = None
+    if document.get("sizing") is not None:
+        sizing_doc = _entry_dict(document["sizing"], "explore request 'sizing'")
+        sizing_allowed = (
+            "min_processors", "max_processors", "min_buses", "max_buses"
+        )
+        _reject_unknown_keys(sizing_doc, sizing_allowed, "explore request 'sizing'")
+        sizing = {
+            "min_processors": _request_int(
+                sizing_doc, "min_processors", 1, "explore request 'sizing'", minimum=1
+            ),
+            "max_processors": _request_int(
+                sizing_doc, "max_processors", None, "explore request 'sizing'", minimum=1
+            ),
+            "min_buses": _request_int(
+                sizing_doc, "min_buses", 1, "explore request 'sizing'", minimum=1
+            ),
+            "max_buses": _request_int(
+                sizing_doc, "max_buses", None, "explore request 'sizing'", minimum=1
+            ),
+        }
+    return {
+        "fig1": fig1,
+        "fig1_buses": _request_int(document, "fig1_buses", 1, what, minimum=1),
+        "system": system,
+        "random": random_normalised,
+        "seed": _request_int(document, "seed", 0, what),
+        "engine": engine,
+        "cycles": _request_int(document, "cycles", 40, what, minimum=1),
+        "neighbors": _request_int(document, "neighbors", 8, what, minimum=1),
+        "population": _request_int(document, "population", 16, what, minimum=2),
+        "stall": _request_int(document, "stall", 0, what, minimum=0),
+        "pareto": _request_bool(document, "pareto", False, what),
+        "map_communications": _request_bool(
+            document, "map_communications", False, what
+        ),
+        "bus_policy": bus_policy,
+        "sizing": sizing,
+    }
+
+
+def validate_schedule_request(document: Any) -> Dict[str, Any]:
+    """Validate + normalise one synchronous schedule-query document.
+
+    ``{"system": <system description>, "validate": bool}`` — the response is
+    the same JSON document ``repro-cpg schedule --json`` prints.
+    """
+    document = _entry_dict(document, "schedule request")
+    _reject_unknown_keys(document, ("system", "validate"), "schedule request")
+    if "system" not in document:
+        raise SerializationError("schedule request is missing 'system'")
+    system_from_dict(document["system"])
+    return {
+        "system": document["system"],
+        "validate": _request_bool(document, "validate", False, "schedule request"),
+    }
+
+
+def validate_sweep_request(document: Any) -> Dict[str, Any]:
+    """Validate + normalise one synchronous sweep-query document.
+
+    ``{"nodes": [..], "paths": [..], "graphs": N}`` — the response is the
+    same JSON document ``repro-cpg sweep --json`` prints.
+    """
+    document = _entry_dict(document, "sweep request")
+    _reject_unknown_keys(document, ("nodes", "paths", "graphs"), "sweep request")
+    sizes = document.get("nodes", [40])
+    path_counts = document.get("paths", [4, 8])
+    for key, values in (("nodes", sizes), ("paths", path_counts)):
+        if not isinstance(values, list) or not values:
+            raise SerializationError(
+                f"sweep request field {key!r} must be a non-empty list of integers"
+            )
+        for value in values:
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise SerializationError(
+                    f"sweep request field {key!r} must contain positive "
+                    f"integers, got {value!r}"
+                )
+    return {
+        "nodes": sizes,
+        "paths": path_counts,
+        "graphs": _request_int(document, "graphs", 2, "sweep request", minimum=1),
+    }

@@ -1,0 +1,126 @@
+"""A small stdlib client for the exploration service.
+
+Used by ``repro-cpg submit``, the service test suite and the load
+benchmark.  The server side is hand-rolled asyncio; the client side just
+needs a one-request-per-connection HTTP speaker, which
+:mod:`http.client` already is.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service; carries the decoded document."""
+
+    def __init__(self, status: int, document: Any) -> None:
+        message = (
+            document.get("error", f"HTTP {status}")
+            if isinstance(document, dict)
+            else f"HTTP {status}"
+        )
+        super().__init__(message)
+        self.status = status
+        self.document = document
+
+
+class ServiceClient:
+    """Talk to one running :class:`~repro.service.ExplorationService`."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {parts.scheme!r} (http only)")
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
+        self._timeout = timeout
+
+    def request(
+        self, method: str, path: str, document: Optional[Any] = None
+    ) -> Tuple[int, Any]:
+        """One HTTP round trip; returns (status, decoded JSON document)."""
+        connection = HTTPConnection(self._host, self._port, timeout=self._timeout)
+        try:
+            body = None
+            headers = {"Connection": "close"}
+            if document is not None:
+                body = json.dumps(document).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            return response.status, json.loads(payload)
+        finally:
+            connection.close()
+
+    def _ok(self, method: str, path: str, document: Optional[Any] = None) -> Any:
+        status, decoded = self.request(method, path, document)
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # -- convenience wrappers ------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._ok("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._ok("GET", "/stats")
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self._ok("GET", "/cache")
+
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """POST an explore request; returns the queued job's status document."""
+        return self._ok("POST", "/jobs", request)
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._ok("GET", "/jobs")
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._ok("GET", f"/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, interval: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll a job until done; returns the final status document.
+
+        Raises :class:`ServiceError` if the job failed and TimeoutError if it
+        is still running when ``timeout`` elapses.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.status(job_id)
+            if document["state"] == "done":
+                return document
+            if document["state"] == "failed":
+                raise ServiceError(409, {"error": document.get("error")})
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {document['state']} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(interval)
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._ok("GET", f"/jobs/{job_id}/result")
+
+    def trajectory(self, job_id: str) -> Dict[str, Any]:
+        return self._ok("GET", f"/jobs/{job_id}/trajectory")
+
+    def front(self, job_id: str) -> Dict[str, Any]:
+        return self._ok("GET", f"/jobs/{job_id}/front")
+
+    def schedule(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._ok("POST", "/schedule", request)
+
+    def sweep(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._ok("POST", "/sweep", request)
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._ok("POST", "/shutdown")

@@ -1,0 +1,121 @@
+"""From a validated request document to an exploration run's ingredients.
+
+The functions here are the single source of truth for how a request —
+whether it arrived as ``repro-cpg explore`` flags or as a ``POST /jobs``
+body — turns into an :class:`~repro.exploration.ExplorationProblem`, its
+human-readable origin string, an :class:`~repro.exploration.ExplorationConfig`
+and the engine list.  Both front-ends build their runs through this module,
+which is what makes the service's byte-identity promise checkable: same
+request, same ingredients, same result document.
+
+Request documents are the normalised output of
+:func:`repro.io.serialization.validate_explore_request`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..data import load_fig1_example
+from ..exploration import (
+    ArchitectureBounds,
+    ExplorationConfig,
+    ExplorationProblem,
+)
+from ..generator import generate_system
+from ..io.serialization import SystemDescription, system_from_dict
+
+#: Engine aliases that expand to several runs sharing one evaluation cache.
+ENGINE_CHOICES = {
+    "both": ["tabu", "anneal"],
+    "all": ["tabu", "anneal", "genetic"],
+}
+
+
+def engines_for(engine: str) -> List[str]:
+    """Expand an engine choice ('both'/'all' aliases included) to a run list."""
+    return ENGINE_CHOICES.get(engine, [engine])
+
+
+def bounds_from_request(request: Dict[str, Any]) -> Optional[ArchitectureBounds]:
+    """The sizing bounds of a request, or None when sizing is off."""
+    sizing = request.get("sizing")
+    if sizing is None:
+        return None
+    return ArchitectureBounds(
+        max_processors=sizing.get("max_processors"),
+        min_processors=sizing.get("min_processors", 1),
+        max_buses=sizing.get("max_buses"),
+        min_buses=sizing.get("min_buses", 1),
+    )
+
+
+def problem_and_origin(
+    request: Dict[str, Any], origin: Optional[str] = None
+) -> Tuple[ExplorationProblem, str]:
+    """Build the problem + origin string for one validated explore request.
+
+    The origin strings are exactly the ones the one-shot CLI prints, so a
+    served result document matches the CLI's byte for byte.  ``origin``
+    overrides the derived string (the CLI passes the file path when the
+    system came from disk; the service has no path and labels the payload by
+    its system name instead).
+    """
+    bounds = bounds_from_request(request)
+    if request["fig1"]:
+        example = load_fig1_example(num_buses=request["fig1_buses"])
+        problem = ExplorationProblem(
+            example.process_graph,
+            example.mapping,
+            example.architecture,
+            name="fig1",
+            bounds=bounds,
+            map_communications=request["map_communications"],
+            bus_policy=request["bus_policy"],
+        )
+        derived = "the paper's Fig. 1 example"
+        if request["fig1_buses"] != 1:
+            derived += f" ({request['fig1_buses']} buses)"
+    elif request.get("system") is not None:
+        source = request["system"]
+        system = (
+            source
+            if isinstance(source, SystemDescription)
+            else system_from_dict(source)
+        )
+        system.graph.validate()
+        problem = ExplorationProblem.from_system(
+            system,
+            bounds=bounds,
+            map_communications=request["map_communications"],
+            bus_policy=request["bus_policy"],
+        )
+        derived = f"submitted system {system.name!r}"
+    else:
+        spec = request["random"]
+        generated = generate_system(
+            spec["nodes"], spec["paths"], seed=request["seed"]
+        )
+        problem = ExplorationProblem.from_system(
+            generated,
+            bounds=bounds,
+            map_communications=request["map_communications"],
+            bus_policy=request["bus_policy"],
+        )
+        derived = (
+            f"random system ({spec['nodes']} nodes, {spec['paths']} paths, "
+            f"seed {request['seed']})"
+        )
+    return problem, origin if origin is not None else derived
+
+
+def config_from_request(request: Dict[str, Any]) -> ExplorationConfig:
+    """The search configuration of one validated explore request."""
+    return ExplorationConfig(
+        seed=request["seed"],
+        max_cycles=request["cycles"],
+        neighbors_per_cycle=request["neighbors"],
+        stall_cycles=request["stall"],
+        population_size=request["population"],
+        track_front=request["pareto"],
+    )

@@ -109,17 +109,50 @@ def pytest_configure(config):
 
 _TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
 
+# Background resources (service threads, event loops) the timeout must tear
+# down: a bare TimeoutError would otherwise leak the server thread past the
+# test that started it.  Tests register a shutdown callable; the registry is
+# drained — timeout or not — when the test call phase ends.
+_timeout_cleanups = []
+
+
+def register_timeout_cleanup(cleanup) -> None:
+    """Run ``cleanup()`` when this test ends (normally or by timeout)."""
+    _timeout_cleanups.append(cleanup)
+
+
+@pytest.fixture()
+def timeout_cleanup():
+    """The cleanup-registering function, as a fixture."""
+    return register_timeout_cleanup
+
+
+def _drain_timeout_cleanups() -> None:
+    while _timeout_cleanups:
+        cleanup = _timeout_cleanups.pop()
+        try:
+            cleanup()
+        except Exception:
+            pass  # teardown best effort; the test outcome is already decided
+
 
 @pytest.hookimpl(wrapper=True)
 def pytest_runtest_call(item):
+    del _timeout_cleanups[:]
     if (
         _TEST_TIMEOUT <= 0
         or not hasattr(signal, "SIGALRM")
         or threading.current_thread() is not threading.main_thread()
     ):
-        return (yield)
+        try:
+            return (yield)
+        finally:
+            _drain_timeout_cleanups()
 
     def _expired(signum, frame):
+        # Tear the registered services down first so their loops terminate
+        # cleanly instead of leaking past the failed test.
+        _drain_timeout_cleanups()
         raise TimeoutError(
             f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT:g}s wall-clock limit"
         )
@@ -131,3 +164,4 @@ def pytest_runtest_call(item):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
+        _drain_timeout_cleanups()
