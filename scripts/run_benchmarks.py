@@ -127,11 +127,35 @@ INCREMENTAL_WORKLOAD = {
     "repeats": 2,
 }
 
-#: ``--check`` floor on the re-measured incremental speedup.  The committed
-#: record must show >= 2x (``run`` refuses to freeze less); the gate floor
-#: is deliberately looser so a busy CI host does not flag phantom
+#: ``--check`` floor on the re-measured incremental speedup.  Recalibrated
+#: after the flat schedule kernel landed: the full-pipeline arm is
+#: merge-dominated, so roughly halving the merge kernel compressed the
+#: staged-vs-full ratio from ~2.1x to ~1.7x.  The floor is deliberately
+#: looser than the capture so a busy CI host does not flag phantom
 #: regressions, while a genuinely broken stage cache (speedup ~1x) fails.
-INCREMENTAL_MIN_SPEEDUP = 1.7
+INCREMENTAL_MIN_SPEEDUP = 1.4
+
+#: Flat-kernel benchmark workload: the xlarge merge-grid preset re-merged
+#: with the packed-column schedule kernel (int-packed condition masks and
+#: times, index-parallel dispatch loops).  ``pre_flat`` freezes the committed
+#: xlarge grid timing — and the host calibration it was captured with — at
+#: the commit immediately *before* the flat kernel landed, so the record
+#: keeps measuring the kernel's win even after the grid records themselves
+#: are regenerated on top of it.  ``delta_max`` is the frozen determinism
+#: anchor: the flat kernel is a representation change, so the merged
+#: worst-case delay must reproduce bit-exactly on any host.
+MERGE_FLAT_WORKLOAD = {
+    "preset": "xlarge",
+    "repeats": 6,
+    "pre_flat_merge_seconds": 0.2453,
+    "pre_flat_calibration_seconds": 0.0237,
+}
+
+#: ``--check`` floor on the host-normalised flat-kernel speedup over the
+#: frozen pre-flat grid timing.  Capture measured ~1.9x; the floor is looser
+#: so timer noise on a busy host does not flag phantom regressions, while
+#: actually losing the flat kernel (speedup ~1x) fails.
+MERGE_FLAT_MIN_SPEEDUP = 1.7
 
 #: Resilience benchmark workload: the fault-free cost of arming the resilient
 #: evaluation runtime.  A prefix of the :data:`INCREMENTAL_WORKLOAD`
@@ -141,19 +165,23 @@ INCREMENTAL_MIN_SPEEDUP = 1.7
 #: document every ``checkpoint_every`` evaluations.  Both arms are pure and
 #: fault-free, so the evaluations must be bit-identical; the record freezes
 #: the relative overhead of the resilience layer.
+#: ``max_overhead_percent`` was recalibrated (5% -> 12%) when the flat
+#: schedule kernel landed: the per-candidate bookkeeping and checkpoint
+#: writes cost the same absolute time as before, but the evaluations they
+#: wrap got ~2x faster, so the *relative* overhead roughly doubled.
 RESILIENCE_WORKLOAD = {
     "stream_length": 60,
     "checkpoint_every": 10,
-    "repeats": 3,
-    "max_overhead_percent": 5.0,
+    "repeats": 5,
+    "max_overhead_percent": 12.0,
 }
 
 #: ``--check`` ceiling on the re-measured resilience overhead.  ``run``
-#: refuses to freeze a record above ``max_overhead_percent`` (5%); the gate
+#: refuses to freeze a record above ``max_overhead_percent``; the gate
 #: ceiling is looser because the overhead is a small delta between two
-#: same-host timings and scheduler noise can double it on a busy machine,
+#: same-host timings and scheduler noise can triple it on a busy machine,
 #: while a genuinely heavy resilience layer (tens of percent) still fails.
-RESILIENCE_GATE_OVERHEAD = 12.0
+RESILIENCE_GATE_OVERHEAD = 25.0
 
 #: Service benchmark workload: the exploration service under a replayed load.
 #: One generated system is submitted as two near-duplicate tenants (same
@@ -251,6 +279,55 @@ def _measure(preset: str, repeats: int) -> dict:
         record["seed_merge_seconds"] = seed_time
         record["speedup_vs_seed"] = round(seed_time / best, 2)
     return record
+
+
+def _measure_merge_flat() -> dict:
+    """Merge the xlarge preset on the flat kernel, normalised to the frozen
+    pre-flat grid timing (see :data:`MERGE_FLAT_WORKLOAD`).
+
+    The speedup compares two different hosts (the pre-flat capture host and
+    this one), so both timings are put on the same footing via the
+    calibration workload — the same normalisation the merge-grid gate uses.
+    Every repeat must produce the identical ``delta_max``; the frozen value
+    doubles as the cross-host determinism anchor.
+    """
+    from repro.generator import LARGE_SCALE_PRESETS, large_scale_system
+    from repro.scheduling import ScheduleMerger
+
+    spec = MERGE_FLAT_WORKLOAD
+    system = large_scale_system(spec["preset"])
+    config = LARGE_SCALE_PRESETS[spec["preset"]]
+    best = float("inf")
+    delta_max = None
+    for _ in range(spec["repeats"]):
+        merger = ScheduleMerger(
+            system.graph, system.expanded_mapping, system.architecture
+        )
+        started = time.perf_counter()
+        result = merger.merge()
+        best = min(best, time.perf_counter() - started)
+        if delta_max is None:
+            delta_max = result.delta_max
+        elif result.delta_max != delta_max:
+            raise SystemExit(
+                "flat-kernel merge is not deterministic across repeats: "
+                f"{result.delta_max!r} vs {delta_max!r}"
+            )
+    host_scale = max(
+        1.0, _calibrate() / spec["pre_flat_calibration_seconds"]
+    )
+    speedup = spec["pre_flat_merge_seconds"] * host_scale / best
+    return {
+        **spec,
+        "nodes": config.nodes,
+        "alternative_paths": config.alternative_paths,
+        "seed": config.seed,
+        "expanded_processes": len(system.graph),
+        "merge_seconds": round(best, 4),
+        "delta_max": delta_max,
+        "speedup_vs_pre_flat": round(speedup, 2),
+        "min_speedup": MERGE_FLAT_MIN_SPEEDUP,
+    }
 
 
 def _measure_exploration() -> dict:
@@ -766,6 +843,14 @@ def _summary_rows(payload: dict) -> list:
         incremental["incremental_seconds"],
         _capture_text(incremental.get("captured") or fallback),
     ])
+    merge_flat = payload.get("merge_flat")
+    if merge_flat:  # baselines may predate the flat-kernel record
+        rows.append([
+            "merge_flat",
+            f"flat kernel x{merge_flat['speedup_vs_pre_flat']} vs pre-flat grid",
+            merge_flat["merge_seconds"],
+            _capture_text(merge_flat.get("captured") or fallback),
+        ])
     resilience = payload.get("resilience")
     if resilience:  # baselines may predate the resilience record
         rows.append([
@@ -845,12 +930,15 @@ def run(output: Path, presets, repeats: int, timestamp: str | None = None) -> di
         f"{comm_mapping['engine_seconds']:.4f}s"
     )
     incremental = _measure_incremental()
-    if incremental["speedup"] < 2.0:
+    if incremental["speedup"] < 1.6:
         # --check gates a speedup floor; refusing to freeze a baseline that
-        # does not meet the headline claim beats committing a red gate.
+        # does not clear it with margin beats committing a red gate.  (The
+        # pre-flat-kernel headline was 2x; the flat kernel halved the
+        # merge-dominated full-pipeline arm, so ~1.7x is now the honest
+        # same-host ratio.)
         raise SystemExit(
-            "refusing to freeze an incremental baseline below the 2x "
-            f"headline: measured {incremental['speedup']}x; rerun on a quiet "
+            "refusing to freeze an incremental baseline below 1.6x: "
+            f"measured {incremental['speedup']}x; rerun on a quiet "
             "host or retune INCREMENTAL_WORKLOAD"
         )
     print(
@@ -862,6 +950,21 @@ def run(output: Path, presets, repeats: int, timestamp: str | None = None) -> di
         f"{incremental['structure_hits'] + incremental['structure_misses']}, "
         f"schedule hits {incremental['schedule_hits']}/"
         f"{incremental['schedule_hits'] + incremental['schedule_misses']})"
+    )
+    merge_flat = _measure_merge_flat()
+    if merge_flat["speedup_vs_pre_flat"] < merge_flat["min_speedup"]:
+        # --check gates a speedup floor; refusing to freeze a baseline that
+        # does not meet it beats committing a permanently red gate.
+        raise SystemExit(
+            "refusing to freeze a merge_flat baseline below the "
+            f"{merge_flat['min_speedup']}x floor: measured "
+            f"{merge_flat['speedup_vs_pre_flat']}x; rerun on a quiet host"
+        )
+    print(
+        f"mergeflt: {merge_flat['expanded_processes']} processes, flat "
+        f"{merge_flat['merge_seconds']:.4f}s vs frozen pre-flat "
+        f"{merge_flat['pre_flat_merge_seconds']:.4f}s "
+        f"({merge_flat['speedup_vs_pre_flat']}x host-normalised)"
     )
     resilience = _measure_resilience()
     if resilience["overhead_percent"] > resilience["max_overhead_percent"]:
@@ -901,8 +1004,11 @@ def run(output: Path, presets, repeats: int, timestamp: str | None = None) -> di
             "(the mapped run must beat the derived run). 'incremental' "
             "scores a move-local candidate stream through the staged "
             "sub-fingerprint caches versus the full pipeline per candidate "
-            "(bit-identical evaluations, frozen best cost, >= 2x at "
-            "capture). 'resilience' scores a fault-free prefix of the same "
+            "(bit-identical evaluations, frozen best cost, >= 1.6x at "
+            "capture). 'merge_flat' re-merges the xlarge grid preset on the "
+            "packed-column flat schedule kernel against the frozen pre-flat "
+            "grid timing (host-normalised >= 1.7x, delta_max frozen as the "
+            "determinism anchor). 'resilience' scores a fault-free prefix of the same "
             "stream through the armed resilient runtime (retry policy + "
             "periodic checkpoint writes) versus the bare staged loop and "
             "freezes the relative overhead (< 5% at capture, bit-identical "
@@ -924,6 +1030,7 @@ def run(output: Path, presets, repeats: int, timestamp: str | None = None) -> di
         "genetic": genetic,
         "comm_mapping": comm_mapping,
         "incremental": incremental,
+        "merge_flat": merge_flat,
         "resilience": resilience,
         "service": service,
     }
@@ -977,6 +1084,9 @@ def check(
     if failure:
         return failure
     failure = _check_incremental(baseline)
+    if failure:
+        return failure
+    failure = _check_merge_flat(baseline)
     if failure:
         return failure
     failure = _check_resilience(baseline)
@@ -1105,6 +1215,43 @@ def _check_incremental(baseline: dict) -> str | None:
     return None
 
 
+def _check_merge_flat(baseline: dict) -> str | None:
+    """Gate the flat-kernel benchmark: determinism, then speedup floor.
+
+    The frozen ``delta_max`` must reproduce bit-exactly (the flat kernel is
+    a pure representation change — any drift is a semantics regression, not
+    noise), and the host-normalised speedup over the frozen pre-flat grid
+    timing must stay above the committed floor.  The measurement already
+    embeds the host calibration, so no extra scaling applies here.
+    """
+    committed = baseline.get("merge_flat")
+    if not committed:  # baseline predates the flat-kernel benchmark
+        return None
+    measured = _measure_merge_flat()
+    if measured["delta_max"] != committed["delta_max"]:
+        print("mergeflt: delta_max diverged from baseline -> REGRESSION")
+        return (
+            "flat-kernel merge is no longer deterministic: delta_max "
+            f"measured {measured['delta_max']!r} vs committed "
+            f"{committed['delta_max']!r}"
+        )
+    floor = committed.get("min_speedup", MERGE_FLAT_MIN_SPEEDUP)
+    verdict = "ok" if measured["speedup_vs_pre_flat"] >= floor else "REGRESSION"
+    print(
+        f"mergeflt: flat {measured['merge_seconds']:.4f}s vs frozen pre-flat "
+        f"{committed['pre_flat_merge_seconds']:.4f}s = "
+        f"{measured['speedup_vs_pre_flat']}x host-normalised (floor {floor}x, "
+        f"committed {committed['speedup_vs_pre_flat']}x) -> {verdict}"
+    )
+    if measured["speedup_vs_pre_flat"] < floor:
+        return (
+            "flat-kernel merge speedup regressed: "
+            f"{measured['speedup_vs_pre_flat']}x < the committed floor "
+            f"{floor}x (baseline {committed['speedup_vs_pre_flat']}x)"
+        )
+    return None
+
+
 def _check_resilience(baseline: dict) -> str | None:
     """Gate the resilience benchmark: determinism, then fault-free overhead.
 
@@ -1202,6 +1349,7 @@ RECORD_MEASURERS = {
     "genetic": lambda: _measure_genetic(),
     "comm_mapping": lambda: _measure_comm_mapping(),
     "incremental": lambda: _measure_incremental(),
+    "merge_flat": lambda: _measure_merge_flat(),
     "resilience": lambda: _measure_resilience(),
     "service": lambda: _measure_service(),
 }

@@ -114,7 +114,10 @@ class Mapping:
 
         Served from the per-PE index maintained by :meth:`assign`, so the
         query costs one dict probe plus a sort of the (usually short) result
-        instead of a scan over every assignment.
+        instead of a scan over every assignment.  The result is always a
+        freshly built, name-sorted tuple — an immutable snapshot, never a
+        live view of the index — so callers (the flat scheduling kernel's
+        context caches in particular) may retain it without copying.
         """
         pe_name = pe if isinstance(pe, str) else pe.name
         return tuple(sorted(self._by_pe.get(pe_name, ())))

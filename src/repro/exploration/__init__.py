@@ -56,6 +56,7 @@ Multi-objective, with architecture sizing::
 
 from .candidate import Candidate
 from .cost import (
+    BatchStats,
     CandidateEvaluation,
     CostWeights,
     StageCache,
@@ -63,6 +64,7 @@ from .cost import (
     architecture_cost_of,
     bus_imbalance_of,
     evaluate_candidate,
+    evaluate_neighbourhood,
     load_imbalance_of,
     merge_candidate,
 )
@@ -113,6 +115,7 @@ __all__ = [
     "CacheStats",
     "CachedEvaluator",
     "Candidate",
+    "BatchStats",
     "CandidateEvaluation",
     "CheckpointError",
     "Checkpointer",
@@ -150,6 +153,7 @@ __all__ = [
     "default_worker_count",
     "dominates",
     "evaluate_candidate",
+    "evaluate_neighbourhood",
     "load_imbalance_of",
     "load_checkpoint",
     "merge_candidate",

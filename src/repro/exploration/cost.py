@@ -789,6 +789,7 @@ def merge_candidate(
     stage_cache: Optional[StageCache] = None,
     tracer=None,
     metrics=None,
+    slice_memo: Optional[Dict] = None,
 ) -> Tuple[ExpandedGraph, MergeResult]:
     """Run the merge pipeline for one candidate, optionally staged.
 
@@ -808,11 +809,18 @@ def merge_candidate(
     infinite-cost semantics use :func:`evaluate_candidate`.
 
     ``tracer``/``metrics`` (see :mod:`repro.observability`) time the stages:
-    ``expansion``, ``path_schedule`` per alternative path (staged arm only),
-    ``merge`` (wall time including re-adjustments) and ``merge_readjust``
-    (the locked re-scheduling share within the merge).  Timing never changes
-    the result; with both None (the default), the pipeline runs exactly the
-    uninstrumented code path.
+    ``expansion``, ``flat_pack`` (sub-fingerprint slicing + key packing,
+    staged arm only), ``path_schedule`` per alternative path (staged arm
+    only), ``merge`` (wall time including re-adjustments) and
+    ``merge_readjust`` (the locked re-scheduling share within the merge).
+    Timing never changes the result; with both None (the default), the
+    pipeline runs exactly the uninstrumented code path.
+
+    ``slice_memo`` (supplied by :func:`evaluate_neighbourhood`) shares the
+    candidate-independent half of the path sub-fingerprints — the active-set
+    and realised-bus slices of :meth:`ExplorationProblem.path_slices` —
+    across every candidate of a batch that reuses the same expansion; it is
+    a pure-value cache, so passing one never changes any result.
     """
     dispatch_priorities = priority_function(candidate.priority_function)
     architecture = problem.architecture_for(candidate)
@@ -873,14 +881,43 @@ def merge_candidate(
     expansion_key = None
     if candidate.priority_function not in PATH_LOCAL_PRIORITY_FUNCTIONS:
         expansion_key = problem.expansion_key(candidate, pins=pins)
-    path_keys = {
-        path.label: stage_cache.intern_key(
-            problem.path_schedule_key(
-                candidate, path, expanded, expansion_key=expansion_key
+
+    def pack_path_keys() -> Dict:
+        # The candidate-independent slices are keyed on the paths tuple's
+        # identity (the memoized expansion returns the same tuple object for
+        # every candidate that shares the expansion); holding the tuple in
+        # the entry pins the id against reuse.
+        slices = None
+        if slice_memo is not None:
+            entry = slice_memo.get(id(paths))
+            if entry is None or entry[0] is not paths:
+                entry = (
+                    paths,
+                    {
+                        path.label: problem.path_slices(path, expanded)
+                        for path in paths
+                    },
+                )
+                slice_memo[id(paths)] = entry
+            slices = entry[1]
+        return {
+            path.label: stage_cache.intern_key(
+                problem.path_schedule_key(
+                    candidate,
+                    path,
+                    expanded,
+                    expansion_key=expansion_key,
+                    slices=slices[path.label] if slices is not None else None,
+                )
             )
-        )
-        for path in paths
-    }
+            for path in paths
+        }
+
+    if timed:
+        with _timed_stage(tracer, metrics, "flat_pack", paths=len(paths)):
+            path_keys = pack_path_keys()
+    else:
+        path_keys = pack_path_keys()
     scheduler = _StagedScheduler(
         stage_cache, inner, path_keys, tracer=tracer, metrics=metrics
     )
@@ -903,6 +940,7 @@ def evaluate_candidate(
     stage_cache: Optional[StageCache] = None,
     tracer=None,
     metrics=None,
+    slice_memo: Optional[Dict] = None,
 ) -> CandidateEvaluation:
     """Score one candidate by running the merge pipeline end to end.
 
@@ -923,7 +961,7 @@ def evaluate_candidate(
     try:
         expanded, result = merge_candidate(
             problem, candidate, stage_cache=stage_cache,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, slice_memo=slice_memo,
         )
         architecture = problem.architecture_for(candidate)
     except (ArchitectureError, MappingError, SchedulingError, MergeConflictError) as error:
@@ -968,3 +1006,83 @@ def evaluate_candidate(
         bus_imbalance=contention,
         paths=len(result.paths),
     )
+
+
+class BatchStats:
+    """Running totals of batched neighbourhood evaluation.
+
+    ``batches``/``candidates`` count :func:`evaluate_neighbourhood` calls and
+    the candidates they scored; ``payload_bytes`` accumulates the serialized
+    bytes shipped to evaluation-pool workers (pickled-once shared problem
+    buffers plus per-batch task payloads — zero for in-process evaluation).
+    All counters are deterministic, so snapshots are safe to surface in
+    byte-compared JSON documents.
+    """
+
+    __slots__ = ("batches", "candidates", "payload_bytes")
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.candidates = 0
+        self.payload_bytes = 0
+
+    def record_batch(self, size: int, payload_bytes: int = 0) -> None:
+        """Count one evaluated batch of ``size`` candidates."""
+        self.batches += 1
+        self.candidates += size
+        self.payload_bytes += payload_bytes
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.candidates / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """The ``batch`` stats block of ``repro-cpg explore --json``."""
+        return {
+            "batches": self.batches,
+            "candidates": self.candidates,
+            "mean_batch_size": self.mean_batch_size,
+            "payload_bytes": self.payload_bytes,
+        }
+
+
+def evaluate_neighbourhood(
+    problem: ExplorationProblem,
+    candidates,
+    weights: CostWeights = CostWeights(),
+    stage_cache: Optional[StageCache] = None,
+    tracer=None,
+    metrics=None,
+    batch_stats: Optional[BatchStats] = None,
+) -> "list[CandidateEvaluation]":
+    """Score a whole move batch against one shared expansion state.
+
+    Semantically identical to mapping :func:`evaluate_candidate` over
+    ``candidates`` in order — same evaluations, same stage-cache accounting,
+    same spans — but the candidate-independent half of every path
+    sub-fingerprint (:meth:`ExplorationProblem.path_slices`) is sliced once
+    per batch and shared by every candidate that reuses the same memoized
+    expansion, instead of being recomputed per candidate.
+
+    ``batch_stats`` (see :class:`BatchStats`) accumulates batch counters for
+    the ``batch`` block of ``explore --json``; ``metrics`` additionally gets
+    a ``batch.size`` observation per call.
+    """
+    batch = list(candidates)
+    if metrics is not None:
+        metrics.observe("batch.size", len(batch))
+    if batch_stats is not None:
+        batch_stats.record_batch(len(batch))
+    slice_memo: Optional[Dict] = {} if stage_cache is not None else None
+    return [
+        evaluate_candidate(
+            problem,
+            candidate,
+            weights,
+            stage_cache=stage_cache,
+            tracer=tracer,
+            metrics=metrics,
+            slice_memo=slice_memo,
+        )
+        for candidate in batch
+    ]

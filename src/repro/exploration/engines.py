@@ -198,6 +198,11 @@ class ExplorationResult:
     #: Wall-clock duration of this ``run()`` call in seconds; None unless
     #: metrics are enabled (keeps the default result byte-deterministic).
     wall_seconds: Optional[float] = None
+    #: Batched-evaluation counters (batches, candidates, mean batch size,
+    #: payload bytes shipped to pool workers), from
+    #: :class:`~repro.exploration.BatchStats`.  None unless metrics are
+    #: enabled — same null-stability contract as ``stage_seconds``.
+    batch: Optional[Dict[str, Any]] = None
 
     @property
     def improved(self) -> bool:
@@ -252,10 +257,11 @@ class _EngineBase:
         if span is not None:
             span.close(cycles=cycles)
         if self._metrics is None:
-            return {"stage_seconds": None, "wall_seconds": None}
+            return {"stage_seconds": None, "wall_seconds": None, "batch": None}
         return {
             "stage_seconds": self._metrics.snapshot().stage_seconds(),
             "wall_seconds": time.perf_counter() - started,
+            "batch": self._evaluator.batch_stats.snapshot(),
         }
 
     def _begin_cycle(self):

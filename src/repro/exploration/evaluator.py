@@ -19,11 +19,13 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from .candidate import Candidate
 from .cost import (
+    BatchStats,
     CandidateEvaluation,
     CostWeights,
     StageCache,
     StageStats,
     evaluate_candidate,
+    evaluate_neighbourhood,
 )
 from .pareto import ParetoFront
 from .pool import EvaluationPool
@@ -115,6 +117,7 @@ class CachedEvaluator:
         self._cache: Dict[str, CandidateEvaluation] = {}
         self._hits = 0
         self._misses = 0
+        self._batch_stats = BatchStats()
         if pool is not None:
             # Misses never run in-process: the pool's stage caches score
             # them (see the stage_cache parameter doc).
@@ -155,6 +158,11 @@ class CachedEvaluator:
     def stage_cache(self) -> Optional[StageCache]:
         """The serial-path stage cache, or None when staged evaluation is off."""
         return self._stage_cache
+
+    @property
+    def batch_stats(self) -> BatchStats:
+        """Running totals of the batched fresh evaluations (see BatchStats)."""
+        return self._batch_stats
 
     @property
     def resilience_stats(self):
@@ -236,15 +244,19 @@ class CachedEvaluator:
         self, candidates: List[Candidate]
     ) -> List[CandidateEvaluation]:
         if self._pool is not None:
-            return self._pool.evaluate(candidates)
-        return [
-            evaluate_candidate(
-                self._problem,
-                candidate,
-                self._weights,
-                stage_cache=self._stage_cache,
-                tracer=self._tracer,
-                metrics=self._metrics,
+            shipped_before = self._pool.payload_bytes_shipped
+            evaluations = self._pool.evaluate(candidates)
+            self._batch_stats.record_batch(
+                len(candidates),
+                self._pool.payload_bytes_shipped - shipped_before,
             )
-            for candidate in candidates
-        ]
+            return evaluations
+        return evaluate_neighbourhood(
+            self._problem,
+            candidates,
+            self._weights,
+            stage_cache=self._stage_cache,
+            tracer=self._tracer,
+            metrics=self._metrics,
+            batch_stats=self._batch_stats,
+        )

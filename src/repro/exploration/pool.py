@@ -2,11 +2,16 @@
 
 Scoring a candidate is an independent, pure computation (expand + schedule +
 merge), so a neighbourhood batch parallelises perfectly.  The pool ships the
-problem to each worker **once** — as the repository's JSON system-description
-payload, rebuilt by the worker initialiser — and then streams small candidate
-tuples; evaluations come back as flat dataclasses of floats.  No scheduler
-state, graph object or condition-universe bitmask ever crosses the process
-boundary, so worker-side bit interning stays internally consistent.
+problem to each worker **once** — the repository's JSON system-description
+payload, pickled *once* in the coordinator into a shared bytes blob that every
+worker spawn reuses and the worker initialiser rebuilds — and then streams
+small pre-pickled candidate units; evaluations come back as flat dataclasses
+of floats.  No scheduler state, graph object or condition-universe bitmask
+ever crosses the process boundary, so worker-side bit interning stays
+internally consistent.  Because the coordinator serialises payloads itself,
+it knows exactly how many bytes cross the boundary:
+:attr:`EvaluationPool.payload_bytes_shipped` is a cumulative counter feeding
+the ``repro-cpg explore --json`` batch-stats block.
 
 Modes
 -----
@@ -39,6 +44,7 @@ come back in submission order with bit-identical evaluations, faults or not.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -80,12 +86,16 @@ _WORKER_INJECTOR: Optional[FaultInjector] = None
 
 
 def _initialise_worker(
-    payload: Dict[str, Any],
+    payload: Any,
     weights: CostWeights,
     stage_caching: bool = True,
     injector: Optional[FaultInjector] = None,
 ) -> None:
     global _WORKER_PROBLEM, _WORKER_WEIGHTS, _WORKER_STAGE_CACHE, _WORKER_INJECTOR
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        # The coordinator ships the payload pickled once as a shared blob;
+        # each worker unpickles its copy exactly once, here.
+        payload = pickle.loads(payload)
     if injector is not None and injector.fail_worker_init:
         raise WorkerInitializationError(
             f"injected worker-initialisation failure for problem "
@@ -122,6 +132,17 @@ def _evaluate_unit_in_worker(
             _WORKER_INJECTOR.inject(candidate.fingerprint, attempt, in_worker=True)
         results.append(_evaluate_in_worker(candidate))
     return results
+
+
+def _evaluate_unit_blob(blob: bytes) -> List[CandidateEvaluation]:
+    """Score a unit shipped as a pre-pickled blob (process mode).
+
+    The coordinator pickles the unit itself (so the exact byte count is
+    known and accounted) and ships the blob; ``concurrent.futures`` then
+    only re-serialises a bytes object — a memcpy, not a re-walk of the
+    candidate structures.
+    """
+    return _evaluate_unit_in_worker(pickle.loads(blob))
 
 
 def default_worker_count() -> int:
@@ -231,6 +252,10 @@ class EvaluationPool:
         self._degraded = False
         self._payload: Optional[Dict[str, Any]] = None
         self._payload_validated = False
+        # Pickled-once problem payload (process mode): every worker spawn
+        # reuses this blob instead of re-serialising the nested payload dict.
+        self._payload_blob: Optional[bytes] = None
+        self._payload_bytes_shipped = 0
 
     @property
     def mode(self) -> str:
@@ -252,6 +277,18 @@ class EvaluationPool:
     def degraded(self) -> bool:
         """Whether the pool fell back to in-process evaluation for good."""
         return self._degraded
+
+    @property
+    def payload_bytes_shipped(self) -> int:
+        """Cumulative bytes serialised across the process boundary.
+
+        Counts the pickled-once problem blob (once per worker, again after a
+        restart respawns the pool) plus every pre-pickled candidate unit.
+        Serial and thread modes ship nothing, so the counter stays 0 — the
+        batch-stats block in ``explore --json`` reports payload traffic only
+        where it actually exists.
+        """
+        return self._payload_bytes_shipped
 
     @property
     def resilience_stats(self) -> ResilienceStats:
@@ -300,19 +337,35 @@ class EvaluationPool:
             self._payload_validated = True
         return self._payload
 
+    def _validated_payload_blob(self) -> bytes:
+        """The worker payload pickled exactly once, shared by every spawn."""
+        if self._payload_blob is None:
+            self._payload_blob = pickle.dumps(
+                self._validated_payload(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        return self._payload_blob
+
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
             if self._mode == "process":
+                blob = self._validated_payload_blob()
                 executor: Executor = ProcessPoolExecutor(
                     max_workers=self._workers,
                     initializer=_initialise_worker,
                     initargs=(
-                        self._validated_payload(),
+                        blob,
                         self._weights,
                         self._stage_caching,
                         self._injector,
                     ),
                 )
+                # Each spawned worker receives its own copy of the initargs
+                # blob across the process boundary.
+                self._payload_bytes_shipped += len(blob) * self._workers
+                if self._metrics is not None:
+                    self._metrics.count(
+                        "pool.payload_bytes", len(blob) * self._workers
+                    )
                 probe = executor.submit(_worker_probe)
                 try:
                     probe.result(timeout=self._retry.startup_timeout)
@@ -618,7 +671,13 @@ class EvaluationPool:
         """The callable + argument submitted for one unit, mode-specific."""
         payload = [(candidates[index], attempts[index]) for index in unit]
         if self._mode == "process":
-            return (_evaluate_unit_in_worker, payload)
+            # Pickle the unit here, once, so the executor only ships bytes
+            # and the exact payload traffic is known for batch stats.
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            self._payload_bytes_shipped += len(blob)
+            if self._metrics is not None:
+                self._metrics.count("pool.payload_bytes", len(blob))
+            return (_evaluate_unit_blob, blob)
         return (self._evaluate_unit_in_thread, payload)
 
     def _evaluate_unit_in_thread(

@@ -94,12 +94,29 @@ class ExpandedGraph:
     _by_endpoints: Dict[Tuple[str, str], CommunicationInfo] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
+    #: Immutable (message id, bus name) pairs in communication insertion
+    #: order, built once at construction.  This is the canonical snapshot
+    #: behind :attr:`bus_assignment` — accessors hand out values derived from
+    #: this tuple, never live views of the instance's dicts, so downstream
+    #: caches (the flat scheduling kernel's slice memos) can hold onto the
+    #: results without defensive copying.
+    _bus_assignment_items: Tuple[Tuple[str, str], ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         index = {
             (info.src, info.dst): info for info in self.communications.values()
         }
         object.__setattr__(self, "_by_endpoints", index)
+        object.__setattr__(
+            self,
+            "_bus_assignment_items",
+            tuple(
+                (info.message, info.bus.name)
+                for info in self.communications.values()
+            ),
+        )
         if not self.bus_loads and self.communications:
             # Derive the loads for directly constructed instances (the
             # pre-bus_loads construction form), so consumers reading
@@ -112,7 +129,11 @@ class ExpandedGraph:
             object.__setattr__(self, "bus_loads", loads)
 
     def communication_between(self, src: str, dst: str) -> Optional[CommunicationInfo]:
-        """Return the communication process inserted between two processes, if any."""
+        """Return the communication process inserted between two processes, if any.
+
+        The returned :class:`CommunicationInfo` is a frozen dataclass — an
+        immutable value, safe to retain and share across cached evaluations.
+        """
         return self._by_endpoints.get((src, dst))
 
     def bus_of(self, message: str) -> Optional[ProcessingElement]:
@@ -122,11 +143,24 @@ class ExpandedGraph:
         return info.bus if info is not None else None
 
     @property
+    def bus_assignment_items(self) -> Tuple[Tuple[str, str], ...]:
+        """The realised communication mapping as an immutable snapshot.
+
+        ``(message id, bus name)`` pairs in communication insertion order.
+        This is the tuple form downstream caches should key on: it is built
+        once at construction and can never be mutated through the accessor.
+        """
+        return self._bus_assignment_items
+
+    @property
     def bus_assignment(self) -> Dict[str, str]:
-        """The realised communication mapping: message id -> bus name."""
-        return {
-            info.message: info.bus.name for info in self.communications.values()
-        }
+        """The realised communication mapping: message id -> bus name.
+
+        Returns a *fresh* dict built from :attr:`bus_assignment_items` on
+        every access — a snapshot the caller owns, never a live view of this
+        instance's state.
+        """
+        return dict(self._bus_assignment_items)
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,8 @@ class ConditionalProcessGraph:
         self._edges: Dict[Tuple[str, str], Edge] = {}
         self._guard_cache: Optional[Dict[str, BoolExpr]] = None
         self._topo_cache: Optional[List[str]] = None
+        self._successor_cache: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._in_edge_cache: Optional[Dict[str, Tuple[Edge, ...]]] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -80,6 +82,8 @@ class ConditionalProcessGraph:
     def _invalidate_caches(self) -> None:
         self._guard_cache = None
         self._topo_cache = None
+        self._successor_cache = None
+        self._in_edge_cache = None
 
     def _find_kind(self, kind: ProcessKind) -> Optional[Process]:
         for process in self._processes.values():
@@ -155,8 +159,41 @@ class ConditionalProcessGraph:
     def successors(self, name: str) -> Tuple[str, ...]:
         return tuple(self._graph.successors(name))
 
+    def successor_map(self) -> Dict[str, Tuple[str, ...]]:
+        """Successor names of every process, cached until the graph changes.
+
+        The priority functions query successors for every process of every
+        alternative path; materialising the adjacency once avoids a networkx
+        iterator round-trip per query.  Callers must not mutate the dict.
+        """
+        if self._successor_cache is None:
+            self._successor_cache = {
+                name: tuple(self._graph.successors(name))
+                for name in self._processes
+            }
+        return self._successor_cache
+
     def in_edges(self, name: str) -> Tuple[Edge, ...]:
         return tuple(self._edges[(src, name)] for src in self._graph.predecessors(name))
+
+    def in_edge_map(self) -> Dict[str, Tuple[Edge, ...]]:
+        """Incoming edges of every process, cached until the graph changes.
+
+        One pass over the edge set replaces a networkx predecessor query per
+        process; the per-path context builds of the list scheduler read the
+        whole map.  Callers must not mutate the dict.  The per-name tuples
+        preserve insertion order of the edges, matching :meth:`in_edges` for
+        graphs built through :meth:`add_edge` (networkx adjacency and the
+        edge dict are appended to together).
+        """
+        if self._in_edge_cache is None:
+            collected: Dict[str, List[Edge]] = {name: [] for name in self._processes}
+            for edge in self._edges.values():
+                collected[edge.dst].append(edge)
+            self._in_edge_cache = {
+                name: tuple(edges) for name, edges in collected.items()
+            }
+        return self._in_edge_cache
 
     def out_edges(self, name: str) -> Tuple[Edge, ...]:
         return tuple(self._edges[(name, dst)] for dst in self._graph.successors(name))

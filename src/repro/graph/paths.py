@@ -64,6 +64,12 @@ class PathEnumerator:
         self._label_condition_sets: Tuple[FrozenSet[Condition], ...] = ()
         self._topological_order = graph.topological_order()
         self._active_cache: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+        # Flattened guard table in topological order: ``None`` marks an
+        # always-active process, otherwise the guard's term masks.  Built
+        # lazily on the first activity query.
+        self._guard_table: Optional[
+            List[Tuple[str, Optional[Tuple[Tuple[int, int], ...]]]]
+        ] = None
 
     @property
     def graph(self) -> ConditionalProcessGraph:
@@ -151,12 +157,30 @@ class PathEnumerator:
         key = masks_from_assignment(assignment)
         cached = self._active_cache.get(key)
         if cached is None:
+            if self._guard_table is None:
+                self._guard_table = [
+                    (
+                        name,
+                        None
+                        if self._guards[name].is_true()
+                        else tuple(
+                            (term.pos_mask, term.neg_mask)
+                            for term in self._guards[name].terms
+                        ),
+                    )
+                    for name in self._topological_order
+                ]
             pos, neg = key
+            not_pos = ~pos
+            not_neg = ~neg
             cached = tuple(
                 name
-                for name in self._topological_order
-                if self._guards[name].is_true()
-                or self._guards[name].satisfied_by_masks(pos, neg)
+                for name, terms in self._guard_table
+                if terms is None
+                or any(
+                    not (term_pos & not_pos) and not (term_neg & not_neg)
+                    for term_pos, term_neg in terms
+                )
             )
             self._active_cache[key] = cached
         return cached

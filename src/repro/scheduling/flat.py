@@ -1,0 +1,336 @@
+"""Flat (packed) array forms of :class:`PathSchedule` and :class:`ScheduleTable`.
+
+The evaluate/merge hot path spends most of its time walking Python objects:
+``ScheduledTask`` dataclasses, ``TableEntry`` lists, dict-of-mask columns.
+This module defines the *packed* counterparts — parallel ``array('q')``
+columns plus tuple-of-object palettes — together with lossless converters:
+
+* times (start, duration, determination) are floats; they are packed by
+  reinterpreting their IEEE-754 double bit pattern as a signed 64-bit
+  integer (:func:`pack_time` / :func:`unpack_time`), which is exact for
+  every representable float, so ``from_flat(to_flat(x)) == x`` holds
+  bit-for-bit;
+* column expressions are already bitmask pairs over the condition universe
+  (:class:`~repro.conditions.Conjunction`), so they pack as two ``array('q')``
+  columns of ``pos_mask`` / ``neg_mask`` integers;
+* non-numeric values (process names, processing elements, conditions, the
+  path) live in small palettes, referenced by index (``-1`` means absent).
+
+Table entries are packed in *global insertion order* (the order the merger
+added them), because the table's lock queries break ties by insertion
+sequence: replaying the same order on :func:`table_from_flat` rebuilds the
+row lists, the mask index and the sequence counter identically.
+
+The flat forms are the transport/packing layer of the kernel; the hot loops
+themselves (the list scheduler's dispatch loop, the merger's table scans)
+operate on the same packed-int representation maintained incrementally
+inside :class:`ScheduleTable` and the scheduler's path context.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from struct import Struct
+from typing import Dict, Optional, Tuple
+
+from ..architecture.processing_element import ProcessingElement
+from ..conditions import Condition, Conjunction
+from ..graph.paths import AlternativePath
+from .schedule import PathSchedule, ScheduledTask
+from .schedule_table import ScheduleTable
+
+_DOUBLE = Struct("<d")
+_INT64 = Struct("<q")
+
+
+def pack_time(value: float) -> int:
+    """The IEEE-754 bit pattern of a float, as a signed 64-bit integer.
+
+    Exact for every representable double (including inf and nan payloads);
+    for the non-negative times the schedulers produce, integer order equals
+    float order, so packed columns sort and compare like their sources.
+    """
+    return _INT64.unpack(_DOUBLE.pack(value))[0]
+
+
+def unpack_time(bits: int) -> float:
+    """Inverse of :func:`pack_time` (bit-exact)."""
+    return _DOUBLE.unpack(_INT64.pack(bits))[0]
+
+
+def _palette_index(palette: list, seen: dict, value) -> int:
+    """Index of ``value`` in the palette, appending it on first sight."""
+    if value is None:
+        return -1
+    key = id(value)
+    index = seen.get(key)
+    if index is None:
+        index = len(palette)
+        palette.append(value)
+        seen[key] = index
+    return index
+
+
+@dataclass(frozen=True)
+class FlatPathSchedule:
+    """One path schedule as parallel packed columns.
+
+    Process tasks and condition broadcasts each get a block of parallel
+    columns (name/condition palette index, start bits, duration bits, PE
+    palette index); determination times and disjunction PEs pack the same
+    way.  Column order is the source dict's insertion order, so the
+    round-trip through :func:`schedule_from_flat` reproduces the original
+    ``PathSchedule`` exactly, iteration order included.
+    """
+
+    path: AlternativePath
+    #: Shared palette of processing elements; ``-1`` indexes mean "no PE".
+    pes: Tuple[Optional[ProcessingElement], ...]
+    #: Process-task columns, parallel by position.
+    task_names: Tuple[str, ...]
+    task_starts: array
+    task_durations: array
+    task_pes: array
+    #: Conditions of tasks that carry one (rare outside broadcasts); -1 = none.
+    task_conditions: array
+    #: Broadcast columns, parallel by position.
+    broadcast_conditions: Tuple[Condition, ...]
+    broadcast_names: Tuple[str, ...]
+    broadcast_starts: array
+    broadcast_durations: array
+    broadcast_pes: array
+    #: Determination columns (condition palette shared with broadcasts is not
+    #: assumed: determinations may cover conditions without a broadcast).
+    determination_conditions: Tuple[Condition, ...]
+    determination_times: array
+    #: Disjunction-PE columns.
+    disjunction_conditions: Tuple[Condition, ...]
+    disjunction_pes: array
+    #: Palette backing ``task_conditions`` (usually empty).
+    conditions: Tuple[Condition, ...] = field(default=())
+
+
+def schedule_to_flat(schedule: PathSchedule) -> FlatPathSchedule:
+    """Pack a :class:`PathSchedule` into parallel ``array('q')`` columns."""
+    pes: list = []
+    pe_seen: dict = {}
+    conditions: list = []
+    condition_seen: dict = {}
+    pack = pack_time
+
+    task_names = []
+    task_starts = array("q")
+    task_durations = array("q")
+    task_pes = array("q")
+    task_conditions = array("q")
+    for name, task in schedule.tasks.items():
+        task_names.append(name)
+        task_starts.append(pack(task.start))
+        task_durations.append(pack(task.duration))
+        task_pes.append(_palette_index(pes, pe_seen, task.pe))
+        task_conditions.append(
+            _palette_index(conditions, condition_seen, task.condition)
+        )
+
+    broadcast_conditions = []
+    broadcast_names = []
+    broadcast_starts = array("q")
+    broadcast_durations = array("q")
+    broadcast_pes = array("q")
+    for condition, task in schedule.broadcasts.items():
+        broadcast_conditions.append(condition)
+        broadcast_names.append(task.name)
+        broadcast_starts.append(pack(task.start))
+        broadcast_durations.append(pack(task.duration))
+        broadcast_pes.append(_palette_index(pes, pe_seen, task.pe))
+
+    determination_conditions = tuple(schedule.determination_times)
+    determination_times = array(
+        "q", (pack(time) for time in schedule.determination_times.values())
+    )
+    disjunction_conditions = tuple(schedule.disjunction_pes)
+    disjunction_pes = array(
+        "q",
+        (
+            _palette_index(pes, pe_seen, pe)
+            for pe in schedule.disjunction_pes.values()
+        ),
+    )
+
+    return FlatPathSchedule(
+        path=schedule.path,
+        pes=tuple(pes),
+        task_names=tuple(task_names),
+        task_starts=task_starts,
+        task_durations=task_durations,
+        task_pes=task_pes,
+        task_conditions=task_conditions,
+        broadcast_conditions=tuple(broadcast_conditions),
+        broadcast_names=tuple(broadcast_names),
+        broadcast_starts=broadcast_starts,
+        broadcast_durations=broadcast_durations,
+        broadcast_pes=broadcast_pes,
+        determination_conditions=determination_conditions,
+        determination_times=determination_times,
+        disjunction_conditions=disjunction_conditions,
+        disjunction_pes=disjunction_pes,
+        conditions=tuple(conditions),
+    )
+
+
+def schedule_from_flat(flat: FlatPathSchedule) -> PathSchedule:
+    """Rebuild the :class:`PathSchedule` a flat form was packed from."""
+    pes = flat.pes
+    conditions = flat.conditions
+    unpack = unpack_time
+
+    tasks: Dict[str, ScheduledTask] = {}
+    for position, name in enumerate(flat.task_names):
+        pe_index = flat.task_pes[position]
+        condition_index = flat.task_conditions[position]
+        tasks[name] = ScheduledTask(
+            name,
+            unpack(flat.task_starts[position]),
+            unpack(flat.task_durations[position]),
+            pes[pe_index] if pe_index >= 0 else None,
+            conditions[condition_index] if condition_index >= 0 else None,
+        )
+
+    broadcasts: Dict[Condition, ScheduledTask] = {}
+    for position, condition in enumerate(flat.broadcast_conditions):
+        pe_index = flat.broadcast_pes[position]
+        broadcasts[condition] = ScheduledTask(
+            flat.broadcast_names[position],
+            unpack(flat.broadcast_starts[position]),
+            unpack(flat.broadcast_durations[position]),
+            pes[pe_index] if pe_index >= 0 else None,
+            condition,
+        )
+
+    determination_times = {
+        condition: unpack(flat.determination_times[position])
+        for position, condition in enumerate(flat.determination_conditions)
+    }
+    disjunction_pes = {
+        condition: (
+            pes[flat.disjunction_pes[position]]
+            if flat.disjunction_pes[position] >= 0
+            else None
+        )
+        for position, condition in enumerate(flat.disjunction_conditions)
+    }
+    return PathSchedule(
+        flat.path, tasks, broadcasts, determination_times, disjunction_pes
+    )
+
+
+@dataclass(frozen=True)
+class FlatScheduleTable:
+    """One schedule table as packed entry columns in global insertion order.
+
+    Each position is one table entry: its row (an index into the process-name
+    or condition palette, signalled by ``row_kinds``), its column expression
+    as a ``pos_mask``/``neg_mask`` integer pair, its start-time bits and its
+    PE palette index.  Replaying the positions in order through the table's
+    ``add_*_entry`` API rebuilds row lists, the mask index and the insertion
+    sequence identically — the tie-break order of lock queries survives the
+    round trip.
+    """
+
+    name: str
+    process_names: Tuple[str, ...]
+    conditions: Tuple[Condition, ...]
+    pes: Tuple[Optional[ProcessingElement], ...]
+    #: 0 = process row, 1 = condition row, parallel with the other columns.
+    row_kinds: array
+    row_keys: array
+    pos_masks: array
+    neg_masks: array
+    starts: array
+    entry_pes: array
+
+
+def table_to_flat(table: ScheduleTable) -> FlatScheduleTable:
+    """Pack a :class:`ScheduleTable` into parallel ``array('q')`` columns."""
+    process_names: list = []
+    process_seen: dict = {}
+    conditions: list = []
+    condition_seen: dict = {}
+    pes: list = []
+    pe_seen: dict = {}
+    pack = pack_time
+
+    row_kinds = array("q")
+    row_keys = array("q")
+    pos_masks = array("q")
+    neg_masks = array("q")
+    starts = array("q")
+    entry_pes = array("q")
+    for is_condition, key, entry in table.entries_in_order():
+        row_kinds.append(1 if is_condition else 0)
+        if is_condition:
+            index = condition_seen.get(key)
+            if index is None:
+                index = len(conditions)
+                conditions.append(key)
+                condition_seen[key] = index
+        else:
+            index = process_seen.get(key)
+            if index is None:
+                index = len(process_names)
+                process_names.append(key)
+                process_seen[key] = index
+        row_keys.append(index)
+        column = entry.column
+        pos_masks.append(column.pos_mask)
+        neg_masks.append(column.neg_mask)
+        starts.append(pack(entry.start))
+        entry_pes.append(_palette_index(pes, pe_seen, entry.pe))
+
+    return FlatScheduleTable(
+        name=table.name,
+        process_names=tuple(process_names),
+        conditions=tuple(conditions),
+        pes=tuple(pes),
+        row_kinds=row_kinds,
+        row_keys=row_keys,
+        pos_masks=pos_masks,
+        neg_masks=neg_masks,
+        starts=starts,
+        entry_pes=entry_pes,
+    )
+
+
+def table_from_flat(flat: FlatScheduleTable) -> ScheduleTable:
+    """Rebuild the :class:`ScheduleTable` a flat form was packed from."""
+    table = ScheduleTable(name=flat.name)
+    unpack = unpack_time
+    for position in range(len(flat.row_kinds)):
+        column = Conjunction.from_masks(
+            flat.pos_masks[position], flat.neg_masks[position]
+        )
+        start = unpack(flat.starts[position])
+        pe_index = flat.entry_pes[position]
+        pe = flat.pes[pe_index] if pe_index >= 0 else None
+        if flat.row_kinds[position]:
+            table.add_condition_entry(
+                flat.conditions[flat.row_keys[position]], column, start, pe
+            )
+        else:
+            table.add_process_entry(
+                flat.process_names[flat.row_keys[position]], column, start, pe
+            )
+    return table
+
+
+__all__ = [
+    "FlatPathSchedule",
+    "FlatScheduleTable",
+    "pack_time",
+    "unpack_time",
+    "schedule_from_flat",
+    "schedule_to_flat",
+    "table_from_flat",
+    "table_to_flat",
+]

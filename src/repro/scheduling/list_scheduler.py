@@ -97,7 +97,15 @@ class _ResourceTimeline:
 
 
 class _PathContext:
-    """Per-path scheduling structure, computed once and reused across calls."""
+    """Per-path scheduling structure, computed once and reused across calls.
+
+    Besides the name-keyed dicts (kept for locked-interval pre-reservation
+    and for external consumers via ``export_context``), the context carries
+    index-parallel flat mirrors: position ``i`` in every ``*_flat`` list
+    describes ``active[i]``.  The dispatch loop runs entirely on the flat
+    columns — integer indices into plain lists instead of string-keyed dict
+    probes and dataclass attribute loads per decision.
+    """
 
     __slots__ = (
         "active",
@@ -108,6 +116,17 @@ class _PathContext:
         "successors",
         "base_indegree",
         "default_priorities",
+        "index_of",
+        "durations_flat",
+        "pes_flat",
+        "pred_indices",
+        "succ_indices",
+        "base_indegree_flat",
+        "guard_conditions",
+        "disjunction_flat",
+        "seq_pe_names",
+        "seq_unique",
+        "neg_priorities_flat",
     )
 
     def __init__(self) -> None:
@@ -119,6 +138,26 @@ class _PathContext:
         self.successors: Dict[str, Tuple[str, ...]] = {}
         self.base_indegree: Dict[str, int] = {}
         self.default_priorities: Optional[Dict[str, float]] = None
+        self.index_of: Dict[str, int] = {}
+        self.durations_flat: List[float] = []
+        self.pes_flat: List[Optional[ProcessingElement]] = []
+        self.pred_indices: List[Tuple[int, ...]] = []
+        self.succ_indices: List[Tuple[int, ...]] = []
+        self.base_indegree_flat: List[int] = []
+        #: Per process: the guard's condition tuple, or None when the guard is
+        #: trivially true (no requirement-4 wait needed).
+        self.guard_conditions: List[Optional[Tuple[Condition, ...]]] = []
+        #: Per process: the condition its disjunction determines, or None.
+        self.disjunction_flat: List[Optional[Condition]] = []
+        #: Per process: its PE's name when that PE executes sequentially
+        #: (the dispatch loop keys resource timelines by it), else None.
+        self.seq_pe_names: List[Optional[str]] = []
+        #: The distinct sequential-PE names of the path, for pre-building
+        #: the per-call timeline dict.
+        self.seq_unique: Tuple[str, ...] = ()
+        #: Negated default priorities in index order (heap keys), built
+        #: lazily the first time the default priorities are used.
+        self.neg_priorities_flat: Optional[List[float]] = None
 
 
 class PathListScheduler:
@@ -165,37 +204,126 @@ class PathListScheduler:
         self._disjunctions = graph.disjunction_processes()
         self._guards = graph.guards()
         self._path_cache: Dict[tuple, _PathContext] = {}
+        # Identity fast path: the merger re-schedules the same path object
+        # hundreds of times; an id-keyed probe skips re-hashing the (label,
+        # active set) key on every call.  The strong path reference pins the
+        # id against reuse for the cache's lifetime.
+        self._context_by_id: Dict[int, Tuple[AlternativePath, _PathContext]] = {}
+        # Static incoming-edge structure per process, shared by every path:
+        # (source name, edge condition or None).  Context builds filter it
+        # against the path's active set — a process active on the path has a
+        # satisfied guard by definition, so the per-edge guard evaluation of
+        # ``graph.active_predecessors`` is redundant here.
+        self._edge_cache: Dict[str, Tuple[Tuple[str, Optional[Condition]], ...]] = {}
+        # Path-independent skeleton per process: (pe, duration, guard
+        # condition tuple or None, disjunction condition or None, sequential
+        # PE name or None).  Built on first touch and shared by every
+        # context, so repeated context builds skip the graph/mapping probes.
+        self._static_info: Dict[str, tuple] = {}
 
     # -- public API -------------------------------------------------------------
 
     def _context_for(self, path: AlternativePath) -> _PathContext:
+        hit = self._context_by_id.get(id(path))
+        if hit is not None and hit[0] is path:
+            return hit[1]
         key = (path.label, path.active_processes)
         context = self._path_cache.get(key)
-        if context is not None:
-            return context
-        context = _PathContext()
-        context.active = tuple(path.active_processes)
-        context.active_set = frozenset(context.active)
-        for name in context.active:
+        if context is None:
+            context = self._build_context(path)
+            self._path_cache[key] = context
+        self._context_by_id[id(path)] = (path, context)
+        return context
+
+    def _static_info_for(self, name: str) -> tuple:
+        info = self._static_info.get(name)
+        if info is None:
             process = self._graph[name]
             pe = None if process.is_dummy else self._mapping.get(name)
             if pe is None and not process.is_dummy:
                 raise SchedulingError(f"process {name!r} is not mapped")
-            context.pes[name] = pe
-            context.durations[name] = process.duration_on(pe)
-        successors: Dict[str, List[str]] = {name: [] for name in context.active}
-        for name in context.active:
-            preds = tuple(
-                pred
-                for pred in self._graph.active_predecessors(name, path.assignment)
-                if pred in context.active_set
+            guard = self._guards.get(name)
+            info = (
+                pe,
+                process.duration_on(pe),
+                None
+                if guard is None or guard.is_true()
+                else tuple(guard.conditions),
+                self._disjunctions.get(name),
+                pe.name if pe is not None and pe.executes_sequentially else None,
             )
-            context.predecessors[name] = preds
-            context.base_indegree[name] = len(preds)
+            self._static_info[name] = info
+        return info
+
+    def _build_context(self, path: AlternativePath) -> _PathContext:
+        context = _PathContext()
+        context.active = tuple(path.active_processes)
+        context.active_set = frozenset(context.active)
+        index_of = {name: i for i, name in enumerate(context.active)}
+        context.index_of = index_of
+
+        # Path-independent columns come straight from the shared skeleton;
+        # the dict views are kept index-parallel with the flat mirrors.
+        static_info = self._static_info
+        static_info_for = self._static_info_for
+        pes = context.pes
+        durations = context.durations
+        durations_flat_append = context.durations_flat.append
+        pes_flat_append = context.pes_flat.append
+        guard_conditions_append = context.guard_conditions.append
+        disjunction_flat_append = context.disjunction_flat.append
+        seq_pe_names_append = context.seq_pe_names.append
+        seq_seen: Dict[str, None] = {}
+        for name in context.active:
+            info = static_info.get(name)
+            if info is None:
+                info = static_info_for(name)
+            pe, duration, guard_conditions, disjunction, seq_name = info
+            pes[name] = pe
+            durations[name] = duration
+            durations_flat_append(duration)
+            pes_flat_append(pe)
+            guard_conditions_append(guard_conditions)
+            disjunction_flat_append(disjunction)
+            seq_pe_names_append(seq_name)
+            if seq_name is not None:
+                seq_seen[seq_name] = None
+        context.seq_unique = tuple(seq_seen)
+
+        successors: Dict[str, List[str]] = {name: [] for name in context.active}
+        assignment = path.assignment
+        active_set = context.active_set
+        edge_cache = self._edge_cache
+        in_edge_map = self._graph.in_edge_map()
+        predecessors = context.predecessors
+        base_indegree = context.base_indegree
+        pred_indices_append = context.pred_indices.append
+        base_indegree_flat_append = context.base_indegree_flat.append
+        for name in context.active:
+            edges = edge_cache.get(name)
+            if edges is None:
+                edges = tuple(
+                    (edge.src, edge.condition if edge.is_conditional else None)
+                    for edge in in_edge_map[name]
+                )
+                edge_cache[name] = edges
+            preds = tuple(
+                src
+                for src, condition in edges
+                if src in active_set
+                and (condition is None or condition.evaluate(assignment))
+            )
+            predecessors[name] = preds
+            base_indegree[name] = len(preds)
+            pred_indices_append(tuple(index_of[pred] for pred in preds))
+            base_indegree_flat_append(len(preds))
             for pred in preds:
                 successors[pred].append(name)
         context.successors = {name: tuple(succ) for name, succ in successors.items()}
-        self._path_cache[key] = context
+        context.succ_indices = [
+            tuple(index_of[succ] for succ in successors[name])
+            for name in context.active
+        ]
         return context
 
     def export_context(self, path: AlternativePath) -> Optional[_PathContext]:
@@ -242,7 +370,12 @@ class PathListScheduler:
         context = self._context_for(path)
         if priorities is None:
             if context.default_priorities is None:
-                computed = self._priority_function(self._graph, path, self._mapping)
+                if self._priority_function is critical_path_priorities:
+                    computed = self._critical_path_priorities(context)
+                else:
+                    computed = self._priority_function(
+                        self._graph, path, self._mapping
+                    )
                 if self._priority_bias:
                     computed = {
                         name: value + self._priority_bias.get(name, 0.0)
@@ -255,9 +388,21 @@ class PathListScheduler:
         active_set = context.active_set
         durations = context.durations
         pes = context.pes
-        predecessors = context.predecessors
+        durations_flat = context.durations_flat
+        pes_flat = context.pes_flat
+        pred_indices = context.pred_indices
+        succ_indices = context.succ_indices
+        guard_conditions = context.guard_conditions
+        disjunction_flat = context.disjunction_flat
+        seq_pe_names = context.seq_pe_names
+        count = len(active)
 
-        timelines: Dict[str, _ResourceTimeline] = {}
+        # Timelines for the path's sequential PEs exist up front so the
+        # dispatch loop indexes them directly; buses (broadcasts) and any
+        # locked task on another element go through the setdefault fallback.
+        timelines: Dict[str, _ResourceTimeline] = {
+            pe_name: _ResourceTimeline() for pe_name in context.seq_unique
+        }
 
         def timeline(pe: ProcessingElement) -> _ResourceTimeline:
             return timelines.setdefault(pe.name, _ResourceTimeline())
@@ -274,13 +419,19 @@ class PathListScheduler:
             if task.pe is not None and task.pe.executes_sequentially:
                 timeline(task.pe).reserve(task.start, task.end)
 
-        scheduled: Dict[str, ScheduledTask] = {}
         broadcasts: Dict[Condition, ScheduledTask] = {}
         determination: Dict[Condition, float] = {}
         disjunction_pes: Dict[Condition, Optional[ProcessingElement]] = {}
         pending_broadcasts: List[
             Tuple[float, Condition, Optional[ProcessingElement]]
         ] = []
+        # Guard-knowledge memo: condition -> (origin PE, time known on the
+        # origin, time known everywhere else).  Filled when the broadcast is
+        # scheduled — which happens before any later dispatch can query it —
+        # so the requirement-4 check below is one dict probe per condition.
+        known_times: Dict[
+            Condition, Tuple[Optional[ProcessingElement], float, float]
+        ] = {}
 
         def schedule_broadcast(
             condition: Condition, ready: float, origin: Optional[ProcessingElement]
@@ -288,14 +439,23 @@ class PathListScheduler:
             locked = locked_broadcasts.get(condition)
             if locked is not None:
                 broadcasts[condition] = locked
+                known_times[condition] = (
+                    origin,
+                    determination[condition],
+                    locked.end,
+                )
                 return
             tau0 = self._architecture.condition_broadcast_time
             buses = self._architecture.broadcast_buses()
             if not buses or len(self._architecture.processors) <= 1:
                 # A single-processor system (or one without buses) needs no
                 # broadcast: the value is immediately known everywhere.
-                broadcasts[condition] = ScheduledTask(
-                    f"cond:{condition}", ready, 0.0, None, condition
+                task = ScheduledTask(f"cond:{condition}", ready, 0.0, None, condition)
+                broadcasts[condition] = task
+                known_times[condition] = (
+                    origin,
+                    determination[condition],
+                    task.end,
                 )
                 return
             best: Optional[Tuple[float, ProcessingElement]] = None
@@ -306,89 +466,141 @@ class PathListScheduler:
             assert best is not None
             start, bus = best
             timeline(bus).reserve(start, start + tau0)
-            broadcasts[condition] = ScheduledTask(
-                f"cond:{condition}", start, tau0, bus, condition
-            )
+            task = ScheduledTask(f"cond:{condition}", start, tau0, bus, condition)
+            broadcasts[condition] = task
+            known_times[condition] = (origin, determination[condition], task.end)
 
         # Ready processes are kept in two heaps: processes with a locked
         # activation time, keyed by (locked start, name), and free processes,
         # keyed by the dispatch priority.  A ready locked process is always
         # dispatched before any free one, matching the paper's adjustment
         # rule; within each class the heap reproduces the order a full scan
-        # of the ready set would have chosen.
-        indegree = dict(context.base_indegree)
-        ready_locked: List[Tuple[float, str]] = []
-        ready_free: List[Tuple[float, float, str]] = []
+        # of the ready set would have chosen.  (Names are unique, so the
+        # trailing index never participates in a comparison.)
+        #
+        # The loop itself runs on the flat columns: start/end per process
+        # index, with ScheduledTask objects materialised only once, after the
+        # last dispatch, in dispatch order.
+        indegree = list(context.base_indegree_flat)
+        ready_locked: List[Tuple[float, str, int]] = []
+        ready_free: List[Tuple[float, float, str, int]] = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
-        def push_ready(name: str) -> None:
-            if name in locked_starts:
-                heapq.heappush(ready_locked, (locked_starts[name], name))
-            else:
-                hint = order_hint.get(name, _INFINITY) if order_hint else _INFINITY
-                heapq.heappush(
-                    ready_free, (hint, -priorities.get(name, 0.0), name)
+        if locked_starts or order_hint is not None:
+
+            def push_ready(index: int) -> None:
+                name = active[index]
+                locked = locked_starts.get(name)
+                if locked is not None:
+                    heappush(ready_locked, (locked, name, index))
+                else:
+                    hint = (
+                        order_hint.get(name, _INFINITY) if order_hint else _INFINITY
+                    )
+                    heappush(
+                        ready_free, (hint, -priorities.get(name, 0.0), name, index)
+                    )
+
+        else:
+            # No locks and no order hint: every entry would carry the same
+            # infinite hint, so ordering reduces to the negated priority.
+            # Cache the negated default priorities as a flat column; a
+            # caller-supplied priority dict gets a per-call column instead.
+            neg_priorities = context.neg_priorities_flat
+            if neg_priorities is None or priorities is not context.default_priorities:
+                neg_priorities = [-priorities.get(name, 0.0) for name in active]
+                if priorities is context.default_priorities:
+                    context.neg_priorities_flat = neg_priorities
+
+            def push_ready(index: int) -> None:
+                heappush(
+                    ready_free,
+                    (_INFINITY, neg_priorities[index], active[index], index),
                 )
 
-        for name in active:
-            if indegree[name] == 0:
-                push_ready(name)
+        for index in range(count):
+            if indegree[index] == 0:
+                push_ready(index)
 
-        remaining = len(active)
+        starts: List[float] = [0.0] * count
+        ends: List[float] = [0.0] * count
+        dispatch_order: List[int] = []
+        remaining = count
         while remaining:
             # Broadcasts are dispatched as soon as their condition is computed.
             while pending_broadcasts:
-                ready, condition, origin = heapq.heappop(pending_broadcasts)
+                ready, condition, origin = heappop(pending_broadcasts)
                 schedule_broadcast(condition, ready, origin)
 
             if ready_locked:
-                _, name = heapq.heappop(ready_locked)
-                start = locked_starts[name]
+                start, _, index = heappop(ready_locked)
             elif ready_free:
-                _, _, name = heapq.heappop(ready_free)
-                data_ready = max(
-                    (scheduled[pred].end for pred in predecessors[name]), default=0.0
-                )
-                pe = pes[name]
+                _, _, _, index = heappop(ready_free)
+                data_ready = 0.0
+                for pred in pred_indices[index]:
+                    end = ends[pred]
+                    if end > data_ready:
+                        data_ready = end
+                pe = pes_flat[index]
                 # Requirement 4 of the paper: the run-time scheduler may only
                 # activate a process once the conditions its guard depends on
                 # are known on the executing processing element.  Delay the
                 # start until every such condition value has reached ``pe``.
-                knowledge_ready = self._guard_knowledge_time(
-                    name, pe, determination, disjunction_pes, broadcasts
-                )
-                data_ready = max(data_ready, knowledge_ready)
-                if pe is None:
-                    start = data_ready
-                elif pe.executes_sequentially:
-                    start = timeline(pe).earliest_slot(data_ready, durations[name])
-                    timeline(pe).reserve(start, start + durations[name])
+                conditions = guard_conditions[index]
+                if conditions is not None:
+                    for condition in conditions:
+                        entry = known_times.get(condition)
+                        if entry is None:
+                            continue
+                        origin, on_origin, elsewhere = entry
+                        if pe is not None and origin is not None and pe == origin:
+                            known = on_origin
+                        else:
+                            known = elsewhere
+                        if known > data_ready:
+                            data_ready = known
+                seq_name = seq_pe_names[index]
+                if seq_name is not None:
+                    duration = durations_flat[index]
+                    pe_timeline = timelines[seq_name]
+                    start = pe_timeline.earliest_slot(data_ready, duration)
+                    pe_timeline.reserve(start, start + duration)
                 else:
+                    # Dummy process or parallel hardware: starts when ready.
                     start = data_ready
             else:
                 raise SchedulingError(
                     f"no dispatchable process on path {path.label}; "
                     "the subgraph has a dependency cycle or missing processes"
                 )
-            task = ScheduledTask(name, start, durations[name], pes[name])
-            scheduled[name] = task
+            end = start + durations_flat[index]
+            starts[index] = start
+            ends[index] = end
+            dispatch_order.append(index)
             remaining -= 1
-            for successor in context.successors[name]:
+            for successor in succ_indices[index]:
                 indegree[successor] -= 1
                 if indegree[successor] == 0:
                     push_ready(successor)
 
-            condition = self._disjunctions.get(name)
+            condition = disjunction_flat[index]
             if condition is not None:
-                determination[condition] = task.end
-                disjunction_pes[condition] = pes[name]
-                heapq.heappush(
-                    pending_broadcasts, (task.end, condition, pes[name])
-                )
+                pe = pes_flat[index]
+                determination[condition] = end
+                disjunction_pes[condition] = pe
+                heappush(pending_broadcasts, (end, condition, pe))
 
         while pending_broadcasts:
-            ready, condition, origin = heapq.heappop(pending_broadcasts)
+            ready, condition, origin = heappop(pending_broadcasts)
             schedule_broadcast(condition, ready, origin)
 
+        scheduled: Dict[str, ScheduledTask] = {}
+        for index in dispatch_order:
+            name = active[index]
+            scheduled[name] = ScheduledTask(
+                name, starts[index], durations_flat[index], pes_flat[index]
+            )
         return PathSchedule(path, scheduled, broadcasts, determination, disjunction_pes)
 
     def schedule_all(
@@ -398,6 +610,32 @@ class PathListScheduler:
         return {path: self.schedule(path) for path in paths}
 
     # -- internal helpers ---------------------------------------------------------
+
+    def _critical_path_priorities(self, context: _PathContext) -> Dict[str, float]:
+        """Partial-critical-path priorities computed from the cached context.
+
+        Produces exactly what :func:`critical_path_priorities` returns for the
+        context's path — the durations in the context are the same
+        ``duration_on(mapping.get(name))`` values, and the successor walk
+        visits the same full-graph adjacency — without re-probing the graph
+        and the mapping per process.
+        """
+        active_set = context.active_set
+        durations = context.durations
+        successor_map = self._graph.successor_map()
+        priorities: Dict[str, float] = {}
+        priorities_get = priorities.get
+        for name in reversed(self._graph.topological_order()):
+            if name not in active_set:
+                continue
+            longest_successor = 0.0
+            for successor in successor_map[name]:
+                if successor in active_set:
+                    value = priorities_get(successor)
+                    if value is not None and value > longest_successor:
+                        longest_successor = value
+            priorities[name] = durations[name] + longest_successor
+        return priorities
 
     def _guard_knowledge_time(
         self,

@@ -155,6 +155,12 @@ class ScheduleMerger:
             graph, mapping, self._architecture
         )
         self._guards = graph.guards()
+        # Dummy processes never get table entries; the placement walk checks
+        # this per item, so resolve it once against a name set instead of a
+        # graph probe plus attribute load per check.
+        self._dummy_names = frozenset(
+            process.name for process in graph.processes if process.is_dummy
+        )
 
     # -- public API -----------------------------------------------------------------
 
@@ -182,19 +188,32 @@ class ScheduleMerger:
             for label, schedule in self._optimal.items()
         }
         self._table = ScheduleTable(name=f"{self._graph.name}-table")
-        self._trace = MergeTrace(
-            path_delays={label: sched.delay for label, sched in self._optimal.items()}
-        )
+        # The optimal schedules never change after this point; resolve their
+        # delays once instead of rescanning the task maps per back-step.
+        self._optimal_delays = {
+            label: sched.delay for label, sched in self._optimal.items()
+        }
+        self._trace = MergeTrace(path_delays=dict(self._optimal_delays))
 
-        initial = max(self._paths, key=lambda p: self._optimal[p.label].delay)
+        initial = max(self._paths, key=lambda p: self._optimal_delays[p.label])
         root = self._explore({}, self._optimal[initial.label].copy(), False, 0)
         self._trace.root = root
 
-        delta_m = max(sched.delay for sched in self._optimal.values())
-        table_path_delays = {
-            path.label: self._table.delay_of_path(self._graph, self._mapping, path)
-            for path in self._paths
-        }
+        delta_m = max(self._optimal_delays.values())
+        table_path_delays = {}
+        # Duck-typed: injected scheduler wrappers (e.g. the explorer's staged
+        # scheduler) may not expose per-path contexts; fall back to the graph
+        # probes inside ``delay_of_path`` then.
+        export_context = getattr(self._scheduler, "export_context", None)
+        for path in self._paths:
+            context = None if export_context is None else export_context(path)
+            table_path_delays[path.label] = self._table.delay_of_path(
+                self._graph,
+                self._mapping,
+                path,
+                durations=None if context is None else context.durations,
+                dummies=self._dummy_names,
+            )
         delta_max = max(table_path_delays.values())
         return MergeResult(
             table=self._table,
@@ -268,7 +287,7 @@ class ScheduleMerger:
         ]
         if reachable:
             self._trace.back_steps += 1
-            new_path = max(reachable, key=lambda p: self._optimal[p.label].delay)
+            new_path = max(reachable, key=lambda p: self._optimal_delays[p.label])
             adjusted, locked_count = self._adjust(new_path, other_known)
             self._trace.adjustments += 1
             child = self._explore(other_known, adjusted, True, depth + 1)
@@ -347,7 +366,7 @@ class ScheduleMerger:
         columns: _SegmentColumns,
     ) -> Tuple[bool, PathSchedule, bool]:
         name = task.name
-        if self._graph[name].is_dummy:
+        if name in self._dummy_names:
             return False, current, True
         if self._table.applicable_process_entry(name, known_pos, known_neg) is not None:
             return False, current, True
@@ -453,8 +472,9 @@ class ScheduleMerger:
     ) -> Tuple[PathSchedule, int]:
         """Adjust a newly selected path's schedule to the already fixed times."""
         locked, locked_broadcasts = self._locks_from_table(known)
+        active = set(path.active_processes)
         locked = {
-            name: start for name, start in locked.items() if path.includes(name)
+            name: start for name, start in locked.items() if name in active
         }
         locked_broadcasts = {
             condition: task
@@ -482,10 +502,11 @@ class ScheduleMerger:
         # with the path, which is a superset of the entries placed so far and
         # therefore safe (they will be placed later at the same times).
         locked, locked_broadcasts = self._locks_from_table(known)
+        active = set(current.path.active_processes)
         locked = {
             name: start
             for name, start in locked.items()
-            if current.path.includes(name)
+            if name in active
         }
         if extra_locked:
             locked.update(extra_locked)

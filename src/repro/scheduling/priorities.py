@@ -36,16 +36,21 @@ def critical_path_priorities(
     """
     active = set(path.active_processes)
     priorities: Dict[str, float] = {}
+    successor_map = graph.successor_map()
+    mapping_get = mapping.get
+    priorities_get = priorities.get
     for name in reversed(graph.topological_order()):
         if name not in active:
             continue
-        process = graph[name]
-        duration = process.duration_on(mapping.get(name))
         longest_successor = 0.0
-        for successor in graph.successors(name):
-            if successor in active and successor in priorities:
-                longest_successor = max(longest_successor, priorities[successor])
-        priorities[name] = duration + longest_successor
+        for successor in successor_map[name]:
+            if successor in active:
+                value = priorities_get(successor)
+                if value is not None and value > longest_successor:
+                    longest_successor = value
+        priorities[name] = (
+            graph[name].duration_on(mapping_get(name)) + longest_successor
+        )
     return priorities
 
 

@@ -204,6 +204,27 @@ class PathSchedule:
             dict(self.disjunction_pes),
         )
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality including iteration order of the task/broadcast dicts.
+
+        The dicts' insertion order is observable (the flat converters pack in
+        it), so two schedules with the same mappings in different orders do
+        not compare equal.
+        """
+        if not isinstance(other, PathSchedule):
+            return NotImplemented
+        return (
+            self.path == other.path
+            and tuple(self.tasks.items()) == tuple(other.tasks.items())
+            and tuple(self.broadcasts.items()) == tuple(other.broadcasts.items())
+            and tuple(self.determination_times.items())
+            == tuple(other.determination_times.items())
+            and tuple(self.disjunction_pes.items())
+            == tuple(other.disjunction_pes.items())
+        )
+
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:
         return (
             f"PathSchedule(path={self.path.label}, processes={len(self.tasks)}, "

@@ -42,6 +42,31 @@ class TableEntry:
         return f"{self.start:g} [{self.column}]"
 
 
+class _PackedRow:
+    """The packed (flat-int) columns of one table row.
+
+    Parallel lists, one position per entry: the column's ``pos``/``neg``
+    bitmasks, the start time as a plain float, and the entry object itself.
+    The merger's hot scans walk these integer columns directly instead of
+    loading ``entry.column`` and calling mask methods per entry.
+    """
+
+    __slots__ = ("pos", "neg", "starts", "entries")
+
+    def __init__(self) -> None:
+        self.pos: List[int] = []
+        self.neg: List[int] = []
+        self.starts: List[float] = []
+        self.entries: List[TableEntry] = []
+
+    def append(self, entry: TableEntry) -> None:
+        column = entry.column
+        self.pos.append(column.pos_mask)
+        self.neg.append(column.neg_mask)
+        self.starts.append(entry.start)
+        self.entries.append(entry)
+
+
 class ScheduleTable:
     """Rows of activation times indexed by column expressions.
 
@@ -51,6 +76,8 @@ class ScheduleTable:
     number.  The merger's hot queries — "which previously fixed activation
     times apply under this partial knowledge?" — then probe the few distinct
     columns with two integer operations each instead of scanning every row.
+    Row scans (applicability, conflicts, row starts) run on packed parallel
+    int columns (:class:`_PackedRow`) maintained alongside the entry lists.
     """
 
     def __init__(self, name: str = "schedule-table") -> None:
@@ -60,6 +87,12 @@ class ScheduleTable:
         # column masks -> [(sequence, is_condition_row, row_key, entry), ...]
         self._column_index: Dict[Tuple[int, int], List[tuple]] = {}
         self._sequence = 0
+        # Packed mirrors of the rows, plus the global insertion log the flat
+        # converters replay (lock queries tie-break on insertion order, so
+        # the log is part of the table's observable behaviour).
+        self._packed_process: Dict[str, _PackedRow] = {}
+        self._packed_condition: Dict[Condition, _PackedRow] = {}
+        self._entry_log: List[tuple] = []
 
     # -- construction ------------------------------------------------------------
 
@@ -69,6 +102,7 @@ class ScheduleTable:
             (self._sequence, is_condition, key, entry)
         )
         self._sequence += 1
+        self._entry_log.append((is_condition, key, entry))
 
     def add_process_entry(
         self,
@@ -80,6 +114,10 @@ class ScheduleTable:
         """Record an activation time for a process under a column expression."""
         entry = TableEntry(column, start, pe)
         self._process_rows.setdefault(process_name, []).append(entry)
+        packed = self._packed_process.get(process_name)
+        if packed is None:
+            packed = self._packed_process[process_name] = _PackedRow()
+        packed.append(entry)
         self._index_entry(False, process_name, entry)
         return entry
 
@@ -93,8 +131,22 @@ class ScheduleTable:
         """Record the start of a condition broadcast under a column expression."""
         entry = TableEntry(column, start, pe)
         self._condition_rows.setdefault(condition, []).append(entry)
+        packed = self._packed_condition.get(condition)
+        if packed is None:
+            packed = self._packed_condition[condition] = _PackedRow()
+        packed.append(entry)
         self._index_entry(True, condition, entry)
         return entry
+
+    def entries_in_order(self) -> Tuple[tuple, ...]:
+        """Every entry in global insertion order, as ``(is_condition, key, entry)``.
+
+        This is the replay order the flat converters
+        (:func:`repro.scheduling.flat.table_to_flat` /
+        :func:`~repro.scheduling.flat.table_from_flat`) use to rebuild a table
+        with identical row lists, mask index and sequence numbering.
+        """
+        return tuple(self._entry_log)
 
     # -- access ---------------------------------------------------------------------
 
@@ -135,35 +187,72 @@ class ScheduleTable:
 
     # -- mask-indexed queries (merger hot path) -----------------------------------
 
+    @staticmethod
+    def _first_applicable(
+        packed: Optional[_PackedRow], pos_mask: int, neg_mask: int
+    ) -> Optional[TableEntry]:
+        """First entry of a packed row whose column the masks satisfy."""
+        if packed is None:
+            return None
+        row_pos = packed.pos
+        row_neg = packed.neg
+        for index in range(len(row_pos)):
+            if not ((row_pos[index] & ~pos_mask) or (row_neg[index] & ~neg_mask)):
+                return packed.entries[index]
+        return None
+
+    @staticmethod
+    def _packed_conflicts(
+        packed: Optional[_PackedRow], column: Conjunction, start: float
+    ) -> List[TableEntry]:
+        """Entries at a different start whose column is not exclusive with ``column``."""
+        if packed is None:
+            return []
+        conflicts: List[TableEntry] = []
+        pos_mask = column.pos_mask
+        neg_mask = column.neg_mask
+        row_pos = packed.pos
+        row_neg = packed.neg
+        row_starts = packed.starts
+        for index in range(len(row_pos)):
+            delta = row_starts[index] - start
+            if -_EPSILON <= delta <= _EPSILON:
+                continue
+            if not ((row_pos[index] & neg_mask) | (row_neg[index] & pos_mask)):
+                conflicts.append(packed.entries[index])
+        return conflicts
+
     def applicable_process_entry(
         self, process_name: str, pos_mask: int, neg_mask: int
     ) -> Optional[TableEntry]:
         """First entry of a process row whose column is satisfied by the masks."""
-        for entry in self._process_rows.get(process_name, ()):
-            if entry.column.satisfied_by_masks(pos_mask, neg_mask):
-                return entry
-        return None
+        return self._first_applicable(
+            self._packed_process.get(process_name), pos_mask, neg_mask
+        )
 
     def applicable_condition_entry(
         self, condition: Condition, pos_mask: int, neg_mask: int
     ) -> Optional[TableEntry]:
         """First entry of a condition row whose column is satisfied by the masks."""
-        for entry in self._condition_rows.get(condition, ()):
-            if entry.column.satisfied_by_masks(pos_mask, neg_mask):
-                return entry
-        return None
+        return self._first_applicable(
+            self._packed_condition.get(condition), pos_mask, neg_mask
+        )
 
     def conflicting_process_entries(
         self, process_name: str, column: Conjunction, start: float
     ) -> List[TableEntry]:
         """Entries of a process row violating requirement 2 against a new entry."""
-        return _conflicts(self._process_rows.get(process_name, ()), column, start)
+        return self._packed_conflicts(
+            self._packed_process.get(process_name), column, start
+        )
 
     def conflicting_condition_entries(
         self, condition: Condition, column: Conjunction, start: float
     ) -> List[TableEntry]:
         """Entries of a condition row violating requirement 2 against a new entry."""
-        return _conflicts(self._condition_rows.get(condition, ()), column, start)
+        return self._packed_conflicts(
+            self._packed_condition.get(condition), column, start
+        )
 
     def applicable_locks(
         self, pos_mask: int, neg_mask: int
@@ -194,24 +283,37 @@ class ScheduleTable:
 
     @staticmethod
     def _row_start(
-        entries: Tuple[TableEntry, ...], pos_mask: int, neg_mask: int, label: str
+        packed: Optional[_PackedRow], pos_mask: int, neg_mask: int, label: str
     ) -> Optional[float]:
         """The single start time a row yields under the given masks, or None.
 
         Raises when several applicable columns give different times (a
         requirement-2 violation).
         """
-        applicable = [
-            entry
-            for entry in entries
-            if entry.column.satisfied_by_masks(pos_mask, neg_mask)
-        ]
-        if not applicable:
+        if packed is None:
             return None
-        times = {entry.start for entry in applicable}
-        if len(times) > 1:
-            raise ScheduleTableError(f"ambiguous {label}: {sorted(times)}")
-        return applicable[0].start
+        row_pos = packed.pos
+        row_neg = packed.neg
+        row_starts = packed.starts
+        first: Optional[float] = None
+        for index in range(len(row_pos)):
+            if (row_pos[index] & ~pos_mask) or (row_neg[index] & ~neg_mask):
+                continue
+            start = row_starts[index]
+            if first is None:
+                first = start
+            elif start != first:
+                times = sorted(
+                    {
+                        row_starts[i]
+                        for i in range(len(row_pos))
+                        if not (
+                            (row_pos[i] & ~pos_mask) or (row_neg[i] & ~neg_mask)
+                        )
+                    }
+                )
+                raise ScheduleTableError(f"ambiguous {label}: {times}")
+        return first
 
     def activation_time(
         self, process_name: str, assignment: Mapping[Condition, bool]
@@ -224,7 +326,7 @@ class ScheduleTable:
         """
         pos, neg = masks_from_assignment(assignment)
         return self._row_start(
-            self._process_rows.get(process_name, ()),
+            self._packed_process.get(process_name),
             pos,
             neg,
             f"activation time for {process_name!r}",
@@ -236,7 +338,7 @@ class ScheduleTable:
         """Broadcast start time of a condition under a complete assignment."""
         pos, neg = masks_from_assignment(assignment)
         return self._row_start(
-            self._condition_rows.get(condition, ()),
+            self._packed_condition.get(condition),
             pos,
             neg,
             f"broadcast time for condition {condition}",
@@ -247,16 +349,38 @@ class ScheduleTable:
         graph: ConditionalProcessGraph,
         mapping: PEMapping,
         path: AlternativePath,
+        *,
+        durations: Optional[Mapping[str, float]] = None,
+        dummies: Optional[frozenset] = None,
     ) -> float:
-        """Completion time of one alternative path executed from this table."""
+        """Completion time of one alternative path executed from this table.
+
+        ``durations`` (name -> execution time on the mapped element) and
+        ``dummies`` (the graph's dummy-process names) are optional memo
+        arguments, typically exported from a scheduler's path context; when
+        given they replace the per-process graph and mapping probes.  The
+        result is identical either way.
+        """
         delay = 0.0
         pos, neg = masks_from_assignment(path.assignment)
+        packed = self._packed_process
+        row_start = self._row_start
         for name in path.active_processes:
-            process = graph[name]
-            if process.is_dummy:
-                continue
-            start = self._row_start(
-                self._process_rows.get(name, ()),
+            if dummies is not None:
+                if name in dummies:
+                    continue
+                duration = (
+                    durations[name]
+                    if durations is not None
+                    else graph[name].duration_on(mapping.get(name))
+                )
+            else:
+                process = graph[name]
+                if process.is_dummy:
+                    continue
+                duration = process.duration_on(mapping.get(name))
+            start = row_start(
+                packed.get(name),
                 pos,
                 neg,
                 f"activation time for {name!r}",
@@ -266,7 +390,9 @@ class ScheduleTable:
                     f"process {name!r} is active on path {path.label} but the "
                     "table contains no applicable activation time"
                 )
-            delay = max(delay, start + process.duration_on(mapping.get(name)))
+            total = start + duration
+            if total > delay:
+                delay = total
         return delay
 
     def worst_case_delay(
@@ -336,6 +462,19 @@ class ScheduleTable:
         self.check_requirement_1(graph)
         self.check_requirement_2()
         self.check_requirement_3(graph, paths)
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same name and same entries in the same global order.
+
+        The insertion log determines every derived structure (row lists, mask
+        index, packed columns, lock tie-breaks), so comparing it compares the
+        table's complete observable behaviour.
+        """
+        if not isinstance(other, ScheduleTable):
+            return NotImplemented
+        return self.name == other.name and self._entry_log == other._entry_log
+
+    __hash__ = object.__hash__
 
     def __repr__(self) -> str:
         return (

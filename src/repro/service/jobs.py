@@ -234,7 +234,16 @@ class BatchingEvaluator(CachedEvaluator):
         self._batch_pool = pool
 
     def _evaluate_fresh(self, candidates: List) -> List:
-        return self._lane.evaluate(self._batch_pool, candidates)
+        shipped_before = self._batch_pool.payload_bytes_shipped
+        evaluations = self._lane.evaluate(self._batch_pool, candidates)
+        # Keep the batch-stats contract of CachedEvaluator._evaluate_fresh:
+        # one fresh batch recorded per detour through the lane.  The job
+        # pool is serial, so the shipped-bytes delta is normally zero.
+        self.batch_stats.record_batch(
+            len(candidates),
+            self._batch_pool.payload_bytes_shipped - shipped_before,
+        )
+        return evaluations
 
 
 class Job:
